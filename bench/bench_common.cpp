@@ -1,0 +1,170 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace eccsim::bench {
+
+namespace {
+
+bool quick_mode() {
+  const char* q = std::getenv("ECCSIM_QUICK");
+  return q != nullptr && std::string(q) != "0";
+}
+
+bool cache_enabled() {
+  const char* c = std::getenv("ECCSIM_SWEEP_CACHE");
+  return c == nullptr || std::string(c) != "0";
+}
+
+std::string cache_path(ecc::SystemScale scale) {
+  return std::string("bench_results/sweep_") +
+         (scale == ecc::SystemScale::kQuadEquivalent ? "quad" : "dual") +
+         (quick_mode() ? "_quick" : "") + ".csv";
+}
+
+std::string serialize(const sim::RunResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << r.scheme << ',' << r.workload << ',' << r.instructions << ','
+     << r.mem_cycles << ',' << r.ipc << ',' << r.epi_pj << ','
+     << r.dynamic_epi_pj << ',' << r.background_epi_pj << ',' << r.mapi
+     << ',' << r.bandwidth_utilization << ',' << r.avg_read_latency << ','
+     << r.mem.reads << ',' << r.mem.writes << ',' << r.mem.ecc_reads << ','
+     << r.mem.ecc_writes;
+  return os.str();
+}
+
+bool deserialize(const std::string& line, sim::RunResult& r) {
+  std::istringstream is(line);
+  std::string cell;
+  auto next = [&](std::string& out) {
+    return static_cast<bool>(std::getline(is, out, ','));
+  };
+  std::string f[15];
+  for (auto& s : f) {
+    if (!next(s)) return false;
+  }
+  r.scheme = f[0];
+  r.workload = f[1];
+  r.instructions = std::stoull(f[2]);
+  r.mem_cycles = std::stoull(f[3]);
+  r.ipc = std::stod(f[4]);
+  r.epi_pj = std::stod(f[5]);
+  r.dynamic_epi_pj = std::stod(f[6]);
+  r.background_epi_pj = std::stod(f[7]);
+  r.mapi = std::stod(f[8]);
+  r.bandwidth_utilization = std::stod(f[9]);
+  r.avg_read_latency = std::stod(f[10]);
+  r.mem.reads = std::stoull(f[11]);
+  r.mem.writes = std::stoull(f[12]);
+  r.mem.ecc_reads = std::stoull(f[13]);
+  r.mem.ecc_writes = std::stoull(f[14]);
+  return true;
+}
+
+std::vector<sim::RunResult> load_cache(const std::string& path) {
+  std::vector<sim::RunResult> rows;
+  std::ifstream in(path);
+  if (!in) return rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    sim::RunResult r;
+    if (deserialize(line, r)) rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
+  std::vector<sim::RunResult> rows;
+  sim::SimOptions opts;
+  opts.target_instructions = target_instructions();
+  opts.seed = 1;
+  const auto schemes = ecc::all_schemes();
+  const auto& workloads = trace::paper_workloads();
+  unsigned done = 0;
+  const unsigned total =
+      static_cast<unsigned>(schemes.size() * workloads.size());
+  for (const auto& wl : workloads) {
+    for (const auto id : schemes) {
+      rows.push_back(sim::run_experiment(id, scale, wl.name, opts));
+      ++done;
+      std::fprintf(stderr, "\r[sweep %s] %u/%u (%s / %s)        ",
+                   scale == ecc::SystemScale::kQuadEquivalent ? "quad"
+                                                              : "dual",
+                   done, total, wl.name.c_str(),
+                   ecc::to_string(id).c_str());
+      std::fflush(stderr);
+    }
+  }
+  std::fprintf(stderr, "\n");
+  return rows;
+}
+
+}  // namespace
+
+std::uint64_t target_instructions() {
+  return quick_mode() ? 200'000 : 1'000'000;
+}
+
+const std::vector<sim::RunResult>& sweep(ecc::SystemScale scale) {
+  static std::map<int, std::vector<sim::RunResult>> cache;
+  const int key = static_cast<int>(scale);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const std::string path = cache_path(scale);
+  if (cache_enabled()) {
+    auto rows = load_cache(path);
+    // 16 workloads x 8 schemes expected.
+    if (rows.size() == trace::paper_workloads().size() *
+                           ecc::all_schemes().size()) {
+      return cache.emplace(key, std::move(rows)).first->second;
+    }
+  }
+  auto rows = run_sweep(scale);
+  if (cache_enabled()) {
+    std::ostringstream os;
+    for (const auto& r : rows) os << serialize(r) << '\n';
+    write_file(path, os.str());
+  }
+  return cache.emplace(key, std::move(rows)).first->second;
+}
+
+const sim::RunResult& find(const std::vector<sim::RunResult>& rows,
+                           const std::string& scheme,
+                           const std::string& workload) {
+  for (const auto& r : rows) {
+    if (r.scheme == scheme && r.workload == workload) return r;
+  }
+  throw std::out_of_range("no result for " + scheme + "/" + workload);
+}
+
+int bin_of(const std::string& workload) {
+  return trace::workload_by_name(workload).bin;
+}
+
+double reduction_pct(double baseline, double ours) {
+  return (1.0 - ours / baseline) * 100.0;
+}
+
+void emit(const std::string& name, const Table& table) {
+  std::printf("%s\n", table.str().c_str());
+  write_file("bench_results/" + name + ".csv", table.csv());
+}
+
+std::vector<std::string> workload_order() {
+  std::vector<std::string> names;
+  for (int bin : {1, 2}) {
+    for (const auto& w : trace::paper_workloads()) {
+      if (w.bin == bin) names.push_back(w.name);
+    }
+  }
+  return names;
+}
+
+}  // namespace eccsim::bench

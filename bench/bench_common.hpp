@@ -1,0 +1,44 @@
+// Shared infrastructure for the figure/table reproducers.
+//
+// Figures 9-17 all consume the same sweep: every workload x every scheme at
+// one system scale.  The sweep is lazily computed and cached as CSV under
+// bench_results/, so the first figure binary pays the simulation cost and
+// the rest load instantly.  Delete bench_results/ (or set
+// ECCSIM_SWEEP_CACHE=0) to force re-simulation; set ECCSIM_QUICK=1 for a
+// fast, lower-fidelity pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "ecc/scheme.hpp"
+#include "sim/system.hpp"
+#include "trace/workload.hpp"
+
+namespace eccsim::bench {
+
+/// Instructions per run (ECCSIM_QUICK=1 shrinks it).
+std::uint64_t target_instructions();
+
+/// All (workload x scheme) results at one scale, cached on disk.
+const std::vector<sim::RunResult>& sweep(ecc::SystemScale scale);
+
+/// Finds one run in a sweep; throws if missing.
+const sim::RunResult& find(const std::vector<sim::RunResult>& rows,
+                           const std::string& scheme,
+                           const std::string& workload);
+
+/// Bin (1 or 2) of a workload, per Fig. 9's classification.
+int bin_of(const std::string& workload);
+
+/// Percent reduction of `ours` relative to `baseline` ((1 - ours/base)*100).
+double reduction_pct(double baseline, double ours);
+
+/// Prints the table and also saves CSV under bench_results/<name>.csv.
+void emit(const std::string& name, const Table& table);
+
+/// Workload names in presentation order (Bin1 first, then Bin2).
+std::vector<std::string> workload_order();
+
+}  // namespace eccsim::bench

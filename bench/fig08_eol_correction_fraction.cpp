@@ -1,0 +1,45 @@
+// Fig. 8: the fraction of memory per system that ends up having its ECC
+// correction bits stored in memory after seven years of operation, for
+// systems with different channel counts (four ranks per channel, nine
+// chips per rank, DDR3 vendor-average fault rates).  Solid bars = average;
+// horizontal lines = the 99.9th-percentile upper limit.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "faults/montecarlo.hpp"
+
+using namespace eccsim;
+
+int main() {
+  const double life = 7 * units::kHoursPerYear;
+  const auto rates = faults::ddr3_vendor_average();
+  const unsigned systems = 20'000;
+  Table t({"channels", "avg fraction", "99.9th pct", "systems w/ faulty pair"});
+  double weighted_avg = 0;
+  unsigned count = 0;
+  for (unsigned channels : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    faults::SystemShape shape;
+    shape.channels = channels;
+    const auto res = faults::eol_materialized_fraction(shape, rates, systems,
+                                                       life, 88);
+    t.add_row({std::to_string(channels),
+               Table::pct(res.mean_fraction, 3),
+               Table::pct(res.p999_fraction, 2),
+               Table::pct(res.systems_with_any, 1)});
+    weighted_avg += res.mean_fraction;
+    ++count;
+  }
+  std::printf(
+      "Fig. 8 -- EOL fraction of memory protected by materialized ECC\n"
+      "correction bits (7 years, 44 FIT/chip, %u systems/point)\n\n",
+      systems);
+  bench::emit("fig08_eol_correction_fraction", t);
+  std::printf(
+      "Cross-config average: %.2f%% (paper: ~0.4%% on average; the solid\n"
+      "bars in Fig. 8).  The fraction is channel-count insensitive, as in\n"
+      "the paper: faults are per-chip, and the per-pair memory share\n"
+      "shrinks as the system grows.\n",
+      weighted_avg / count * 100.0);
+  return 0;
+}

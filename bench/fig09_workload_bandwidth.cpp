@@ -1,0 +1,31 @@
+// Fig. 9: memory bandwidth utilization of every workload on a dual-channel
+// commercial (36-device chipkill) ECC memory system.  This is the
+// characterization that defines Bin1 (low bandwidth) and Bin2 (high
+// bandwidth) for Figs. 10-17.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace eccsim;
+
+int main() {
+  const auto& rows = bench::sweep(ecc::SystemScale::kDualEquivalent);
+  Table t({"workload", "bin", "bandwidth utilization", "GB/s"});
+  // A dual-channel 36-device system moves 16B data per memory clock per
+  // channel at 1 GHz: 32 GB/s per logical channel.
+  const double peak_gbs = 2 * 32.0;
+  for (const auto& name : bench::workload_order()) {
+    const auto& r = bench::find(rows, "chipkill36", name);
+    t.add_row({name, std::to_string(bench::bin_of(name)),
+               Table::pct(r.bandwidth_utilization),
+               Table::num(r.bandwidth_utilization * peak_gbs, 1)});
+  }
+  std::printf(
+      "Fig. 9 -- Workload bandwidth utilization, dual-channel commercial\n"
+      "chipkill memory system\n\n");
+  bench::emit("fig09_workload_bandwidth", t);
+  std::printf(
+      "Paper check: every workload consumes >= 1%% of system bandwidth;\n"
+      "Bin2 workloads sit well above Bin1.\n");
+  return 0;
+}

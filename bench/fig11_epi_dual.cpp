@@ -1,0 +1,13 @@
+// Fig. 11: memory EPI reduction in systems equivalent in physical
+// bandwidth and size to the dual-channel commercial ECC memory systems.
+// Same trends as Fig. 10 with somewhat smaller parity-sharing benefits.
+#include "fig_epi_common.hpp"
+
+int main() {
+  eccsim::bench::epi_style_figure(
+      "fig11_epi_dual",
+      "Fig. 11 -- Memory EPI reduction, dual-channel-equivalent systems",
+      eccsim::ecc::SystemScale::kDualEquivalent,
+      [](const eccsim::sim::RunResult& r) { return r.epi_pj; });
+  return 0;
+}

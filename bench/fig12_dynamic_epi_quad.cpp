@@ -1,0 +1,13 @@
+// Fig. 12: reduction in memory *dynamic* EPI (activate + read/write burst
+// energy) over the baselines, quad-channel-equivalent systems.  The parity
+// schemes win here because they read/write far fewer chips per request.
+#include "fig_epi_common.hpp"
+
+int main() {
+  eccsim::bench::epi_style_figure(
+      "fig12_dynamic_epi_quad",
+      "Fig. 12 -- Dynamic EPI reduction, quad-channel-equivalent systems",
+      eccsim::ecc::SystemScale::kQuadEquivalent,
+      [](const eccsim::sim::RunResult& r) { return r.dynamic_epi_pj; });
+  return 0;
+}

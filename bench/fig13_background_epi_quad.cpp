@@ -1,0 +1,14 @@
+// Fig. 13: reduction in memory *background* EPI (standby, power-down,
+// refresh) over the baselines, quad-channel-equivalent systems.  Smaller
+// ranks wake fewer chips per request, so chips spend more time in sleep
+// mode under the close-page policy.
+#include "fig_epi_common.hpp"
+
+int main() {
+  eccsim::bench::epi_style_figure(
+      "fig13_background_epi_quad",
+      "Fig. 13 -- Background EPI reduction, quad-channel-equivalent systems",
+      eccsim::ecc::SystemScale::kQuadEquivalent,
+      [](const eccsim::sim::RunResult& r) { return r.background_epi_pj; });
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 14: performance (IPC) normalized to the baselines,
+// quad-channel-equivalent systems.  Values > 1 mean the parity scheme is
+// faster.  Paper: slight improvement (<5%) over most baselines thanks to
+// higher rank-level parallelism; up to ~20% slower than the 128B-line
+// chipkill36/RAIM on high-spatial-locality workloads (e.g. streamcluster).
+#include "fig_perf_common.hpp"
+
+int main() {
+  eccsim::bench::ratio_figure(
+      "fig14_perf_quad",
+      "Fig. 14 -- Performance normalized to baselines (quad-equivalent, >1 = faster)",
+      eccsim::ecc::SystemScale::kQuadEquivalent,
+      [](const eccsim::sim::RunResult& r) { return r.ipc; });
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 15: performance normalized to the baselines, dual-channel-
+// equivalent systems.  Same qualitative behavior as Fig. 14.
+#include "fig_perf_common.hpp"
+
+int main() {
+  eccsim::bench::ratio_figure(
+      "fig15_perf_dual",
+      "Fig. 15 -- Performance normalized to baselines (dual-equivalent, >1 = faster)",
+      eccsim::ecc::SystemScale::kDualEquivalent,
+      [](const eccsim::sim::RunResult& r) { return r.ipc; });
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 16: memory accesses per instruction (each 64B moved = one access)
+// normalized to the baselines, quad-channel-equivalent systems.  Lower is
+// better.  Paper: LOT-ECC5+Parity has ~13.3% more accesses than the
+// 18-device chipkill (parity-update overhead) but ~20% fewer than the
+// 128B-line 36-device chipkill (no wasted sibling fetches).
+#include "fig_perf_common.hpp"
+
+int main() {
+  eccsim::bench::ratio_figure(
+      "fig16_mapi_quad",
+      "Fig. 16 -- Memory accesses per instruction normalized to baselines (quad, <1 = fewer)",
+      eccsim::ecc::SystemScale::kQuadEquivalent,
+      [](const eccsim::sim::RunResult& r) { return r.mapi; });
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 17: memory accesses per instruction normalized to the baselines,
+// dual-channel-equivalent systems.  The parity overhead is higher than in
+// Fig. 16: each XOR cacheline covers fewer data lines when fewer channels
+// share a parity, raising its miss rate (Sec. V-D).
+#include "fig_perf_common.hpp"
+
+int main() {
+  eccsim::bench::ratio_figure(
+      "fig17_mapi_dual",
+      "Fig. 17 -- Memory accesses per instruction normalized to baselines (dual, <1 = fewer)",
+      eccsim::ecc::SystemScale::kDualEquivalent,
+      [](const eccsim::sim::RunResult& r) { return r.mapi; });
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared table builder for the EPI-reduction figures (Figs. 10-13).
+//
+// Each figure reports, per workload, the reduction of LOT-ECC5+ECC Parity's
+// metric relative to five chipkill-class baselines, and of RAIM+ECC Parity
+// relative to RAIM -- plus Bin1/Bin2 averages, which are the numbers the
+// paper quotes in the text.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+namespace eccsim::bench {
+
+struct Comparison {
+  std::string ours;
+  std::string baseline;
+  std::string label;
+};
+
+inline std::vector<Comparison> epi_comparisons() {
+  return {
+      {"lotecc5+parity", "chipkill36", "vs ck36"},
+      {"lotecc5+parity", "chipkill18", "vs ck18"},
+      {"lotecc5+parity", "lotecc9", "vs lot9"},
+      {"lotecc5+parity", "multiecc", "vs multi"},
+      {"lotecc5+parity", "lotecc5", "vs lot5"},
+      {"raim+parity", "raim", "raim+P vs raim"},
+  };
+}
+
+/// Builds the per-workload reduction table for `metric` and prints
+/// Bin1/Bin2 averages after it.
+inline void epi_style_figure(
+    const std::string& name, const std::string& title,
+    ecc::SystemScale scale,
+    const std::function<double(const sim::RunResult&)>& metric) {
+  const auto& rows = sweep(scale);
+  const auto comparisons = epi_comparisons();
+
+  std::vector<std::string> header = {"workload", "bin"};
+  for (const auto& c : comparisons) header.push_back(c.label);
+  Table t(header);
+
+  std::vector<std::vector<double>> bin_acc(3 * comparisons.size());
+  for (const auto& wl : workload_order()) {
+    std::vector<std::string> row = {wl, std::to_string(bin_of(wl))};
+    for (std::size_t i = 0; i < comparisons.size(); ++i) {
+      const auto& c = comparisons[i];
+      const double base = metric(find(rows, c.baseline, wl));
+      const double ours = metric(find(rows, c.ours, wl));
+      const double red = reduction_pct(base, ours);
+      row.push_back(Table::num(red, 1) + "%");
+      bin_acc[static_cast<std::size_t>(bin_of(wl)) * comparisons.size() + i]
+          .push_back(red);
+    }
+    t.add_row(row);
+  }
+  // Bin averages (arithmetic mean of per-workload reductions, as in the
+  // paper's text).
+  for (int bin : {1, 2}) {
+    std::vector<std::string> row = {std::string("Bin") + std::to_string(bin) +
+                                        " avg",
+                                    std::to_string(bin)};
+    for (std::size_t i = 0; i < comparisons.size(); ++i) {
+      row.push_back(
+          Table::num(
+              mean(bin_acc[static_cast<std::size_t>(bin) *
+                               comparisons.size() +
+                           i]),
+              1) +
+          "%");
+    }
+    t.add_row(row);
+  }
+  std::printf("%s\n\n", title.c_str());
+  emit(name, t);
+}
+
+}  // namespace eccsim::bench

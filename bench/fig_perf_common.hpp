@@ -1,0 +1,50 @@
+// Shared table builder for the normalized-performance (Figs. 14/15) and
+// normalized-accesses (Figs. 16/17) figures: per workload, the metric of
+// the parity schemes normalized to each baseline, plus geometric-mean
+// rows (ratios aggregate with the geometric mean).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "fig_epi_common.hpp"
+
+namespace eccsim::bench {
+
+/// Builds a "ours / baseline" ratio table for `metric`.
+inline void ratio_figure(
+    const std::string& name, const std::string& title,
+    ecc::SystemScale scale,
+    const std::function<double(const sim::RunResult&)>& metric) {
+  const auto& rows = sweep(scale);
+  const auto comparisons = epi_comparisons();
+
+  std::vector<std::string> header = {"workload", "bin"};
+  for (const auto& c : comparisons) header.push_back(c.label);
+  Table t(header);
+
+  std::vector<std::vector<double>> acc(comparisons.size());
+  for (const auto& wl : workload_order()) {
+    std::vector<std::string> row = {wl, std::to_string(bin_of(wl))};
+    for (std::size_t i = 0; i < comparisons.size(); ++i) {
+      const auto& c = comparisons[i];
+      const double ratio = metric(find(rows, c.ours, wl)) /
+                           metric(find(rows, c.baseline, wl));
+      row.push_back(Table::num(ratio, 3));
+      acc[i].push_back(ratio);
+    }
+    t.add_row(row);
+  }
+  std::vector<std::string> gm_row = {"geomean", "-"};
+  for (const auto& a : acc) gm_row.push_back(Table::num(geomean(a), 3));
+  t.add_row(gm_row);
+
+  std::printf("%s\n\n", title.c_str());
+  emit(name, t);
+}
+
+}  // namespace eccsim::bench

@@ -1,0 +1,67 @@
+// Table III: capacity overheads of all evaluated schemes, including the
+// Monte Carlo end-of-life averages for the ECC Parity configurations.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "faults/montecarlo.hpp"
+
+using namespace eccsim;
+
+namespace {
+
+/// EOL-average overhead for a parity scheme: healthy overhead plus the
+/// Monte Carlo expected materialized fraction at 2x parity allocation.
+std::string eol_cell(const ecc::SchemeDesc& d) {
+  if (!d.uses_ecc_parity) return "--";
+  faults::SystemShape shape;
+  shape.channels = d.channels;
+  shape.ranks_per_channel = d.ranks_per_channel;
+  shape.chips_per_rank = d.chips_per_rank;
+  const auto res = faults::eol_materialized_fraction(
+      shape, faults::ddr3_vendor_average(), 20'000,
+      7 * units::kHoursPerYear, 3);
+  return Table::pct(d.capacity_overhead_eol(res.mean_fraction));
+}
+
+}  // namespace
+
+int main() {
+  struct Row {
+    ecc::SchemeId id;
+    ecc::SystemScale scale;
+    const char* label;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {ecc::SchemeId::kChipkill36, ecc::SystemScale::kQuadEquivalent,
+       "36-device commercial chipkill", "12.5%"},
+      {ecc::SchemeId::kChipkill18, ecc::SystemScale::kQuadEquivalent,
+       "18-device commercial chipkill", "12.5%"},
+      {ecc::SchemeId::kLotEcc9, ecc::SystemScale::kQuadEquivalent,
+       "LOT-ECC9", "26.5%"},
+      {ecc::SchemeId::kMultiEcc, ecc::SystemScale::kQuadEquivalent,
+       "Multi-ECC", "12.9%"},
+      {ecc::SchemeId::kLotEcc5, ecc::SystemScale::kQuadEquivalent,
+       "LOT-ECC5", "40.6%"},
+      {ecc::SchemeId::kLotEcc5Parity, ecc::SystemScale::kQuadEquivalent,
+       "8 chan LOT-ECC5 + ECC Parity", "16.5%, EOL 16.7%"},
+      {ecc::SchemeId::kLotEcc5Parity, ecc::SystemScale::kDualEquivalent,
+       "4 chan LOT-ECC5 + ECC Parity", "21.9%, EOL 22.1%"},
+      {ecc::SchemeId::kRaim, ecc::SystemScale::kQuadEquivalent, "RAIM",
+       "40.6%"},
+      {ecc::SchemeId::kRaimParity, ecc::SystemScale::kQuadEquivalent,
+       "10 chan RAIM + ECC Parity", "18.8%, EOL 19.1%"},
+      {ecc::SchemeId::kRaimParity, ecc::SystemScale::kDualEquivalent,
+       "5 chan RAIM + ECC Parity", "26.6%, EOL 26.9%"},
+  };
+  Table t({"scheme", "overhead", "EOL avg", "paper"});
+  for (const Row& row : rows) {
+    const auto d = ecc::make_scheme(row.id, row.scale);
+    t.add_row({row.label, Table::pct(d.capacity_overhead()), eol_cell(d),
+               row.paper});
+  }
+  std::printf("Table III -- Capacity overheads\n\n");
+  bench::emit("table3_capacity", t);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Capacity explorer: an interactive-style CLI over the analytic capacity
+// model.  Shows, for any underlying ECC and channel count, where ECC
+// Parity's storage goes: detection bits, parity lines, reserved rows,
+// and the end-of-life growth from materialized correction bits.
+//
+// Usage:
+//   ./build/examples/capacity_explorer            # default sweep
+//   ./build/examples/capacity_explorer lotecc5 8  # one scheme, N channels
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "ecc/scheme.hpp"
+#include "eccparity/layout.hpp"
+
+using namespace eccsim;
+
+namespace {
+
+ecc::SchemeId parse_scheme(const std::string& name) {
+  for (const auto id : ecc::all_schemes()) {
+    if (ecc::to_string(id) == name) return id;
+  }
+  std::fprintf(stderr, "unknown scheme '%s'; try one of:", name.c_str());
+  for (const auto id : ecc::all_schemes()) {
+    std::fprintf(stderr, " %s", ecc::to_string(id).c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(1);
+}
+
+void explain(ecc::SchemeId id, std::uint32_t channels) {
+  ecc::SchemeDesc d = ecc::make_scheme(id, ecc::SystemScale::kQuadEquivalent);
+  d.channels = channels;
+  if (d.uses_ecc_parity) d.ecc_line_coverage = 4 * (channels - 1);
+
+  std::printf("%s with %u channels\n", d.name.c_str(), channels);
+  std::printf("  rank: %u chips (%u data), %uB lines\n", d.chips_per_rank,
+              d.data_chips_per_rank, d.line_bytes);
+  std::printf("  detection bits   : %s of data (always stored per channel)\n",
+              Table::pct(d.detection_overhead).c_str());
+  std::printf("  correction ratio : %s of data (R)\n",
+              Table::pct(d.correction_ratio).c_str());
+  if (d.uses_ecc_parity) {
+    const double parity_share = (1.0 + d.detection_overhead) *
+                                d.correction_ratio / (channels - 1);
+    std::printf("  parity lines     : (1+%.1f%%) * R / (N-1) = %s\n",
+                d.detection_overhead * 100, Table::pct(parity_share).c_str());
+    std::printf("  total            : %s\n",
+                Table::pct(d.capacity_overhead()).c_str());
+    std::printf("  EOL @0.4%% faulty : %s\n",
+                Table::pct(d.capacity_overhead_eol(0.004)).c_str());
+    const unsigned corr_bytes =
+        static_cast<unsigned>(d.correction_ratio * d.line_bytes);
+    dram::MemGeometry geom;
+    geom.channels = channels;
+    geom.ranks_per_channel = d.ranks_per_channel;
+    geom.rows_per_bank = 32768;
+    geom.line_bytes = d.line_bytes;
+    eccparity::ParityLayout layout(geom, corr_bytes);
+    std::printf("  reserved rows    : %llu per 32768-row bank\n",
+                (unsigned long long)layout.reserved_rows_per_bank());
+    std::printf("  XOR line covers  : %u data lines\n",
+                layout.xor_coverage());
+  } else {
+    std::printf("  total            : %s (stored per channel; ECC Parity\n"
+                "                     would shrink the correction part by\n"
+                "                     a factor of N-1)\n",
+                Table::pct(d.capacity_overhead()).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3) {
+    explain(parse_scheme(argv[1]),
+            static_cast<std::uint32_t>(std::atoi(argv[2])));
+    return 0;
+  }
+  std::printf("ECC Parity capacity explorer\n");
+  std::printf("(pass `<scheme> <channels>` for a single configuration)\n\n");
+  Table t({"scheme \\ channels", "2", "4", "8", "16"});
+  for (const auto id :
+       {ecc::SchemeId::kLotEcc5Parity, ecc::SchemeId::kRaimParity}) {
+    std::vector<std::string> row = {ecc::to_string(id)};
+    for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+      ecc::SchemeDesc d =
+          ecc::make_scheme(id, ecc::SystemScale::kQuadEquivalent);
+      d.channels = n;
+      row.push_back(Table::pct(d.capacity_overhead()));
+    }
+    t.add_row(row);
+  }
+  for (const auto id :
+       {ecc::SchemeId::kLotEcc5, ecc::SchemeId::kRaim,
+        ecc::SchemeId::kChipkill36}) {
+    const auto d = ecc::make_scheme(id, ecc::SystemScale::kQuadEquivalent);
+    t.add_row({ecc::to_string(id), Table::pct(d.capacity_overhead()),
+               Table::pct(d.capacity_overhead()),
+               Table::pct(d.capacity_overhead()),
+               Table::pct(d.capacity_overhead())});
+  }
+  std::printf("%s\n", t.str().c_str());
+  explain(ecc::SchemeId::kLotEcc5Parity, 8);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scrub-policy advisor: a small operations tool on top of the Sec. VI-C
+// analysis.  Given a system shape, a DRAM fault rate, and a reliability
+// target (added uncorrectable errors per server lifetime), it recommends
+// the longest scrub interval that meets the target and reports the margin
+// -- the decision the paper makes once (8 hours) for its evaluation.
+//
+// Usage:
+//   ./build/examples/scrub_advisor                       # paper defaults
+//   ./build/examples/scrub_advisor <channels> <FIT> <target_prob>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "faults/montecarlo.hpp"
+
+using namespace eccsim;
+
+int main(int argc, char** argv) {
+  faults::SystemShape shape;
+  shape.channels = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+  const double fit = argc > 2 ? std::atof(argv[2]) : 44.0;
+  // Target: probability of any multi-channel-fault window per 7-year
+  // lifetime.  0.007 corresponds to one added uncorrectable error per
+  // ~1000 years of operation.
+  const double target = argc > 3 ? std::atof(argv[3]) : 0.007;
+  const double life = 7 * units::kHoursPerYear;
+
+  std::printf(
+      "Scrub advisor: %u channels, %u chips/channel, %.0f FIT/chip,\n"
+      "target P(multi-channel window per lifetime) <= %.2e\n\n",
+      shape.channels, shape.chips_per_channel(), fit, target);
+
+  Table t({"scrub interval", "P(lifetime)", "added UE rate",
+           "meets target"});
+  double recommended = 0;
+  for (double w : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 24.0, 72.0, 168.0,
+                   720.0}) {
+    const double p = faults::analytic_multichannel_window_probability(
+        shape, fit, w, life);
+    char interval[32], prob[32], rate[48];
+    if (w < 1) std::snprintf(interval, sizeof interval, "%.0f min", w * 60);
+    else if (w < 48) std::snprintf(interval, sizeof interval, "%.0f h", w);
+    else std::snprintf(interval, sizeof interval, "%.0f d", w / 24);
+    std::snprintf(prob, sizeof prob, "%.2e", p);
+    std::snprintf(rate, sizeof rate, "1 per %.0f years", 7.0 / p);
+    const bool ok = p <= target;
+    if (ok) recommended = w;
+    t.add_row({interval, prob, rate, ok ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  if (recommended > 0) {
+    std::printf(
+        "recommendation: scrub every %.0f hours -- the longest interval\n"
+        "meeting the target.  (The paper adopts 8 hours at 100 FIT/chip,\n"
+        "good for one added uncorrectable error per ~35,000 years.)\n",
+        recommended);
+  } else {
+    std::printf(
+        "no listed interval meets the target; scrub faster than 15 min or\n"
+        "revisit the target.\n");
+  }
+
+  // Cost side: scanning the whole memory once per interval.
+  const double capacity_gb = 32.0;
+  const double scrub_bw_mbs =
+      capacity_gb * 1024 / (recommended > 0 ? recommended * 3600 : 3600);
+  std::printf(
+      "\ncost check: scrubbing %.0f GiB every %.0f h needs %.2f MB/s of\n"
+      "read bandwidth -- noise against tens of GB/s of channel bandwidth\n"
+      "(see bench/ablation_scrub for the measured EPI/IPC impact).\n",
+      capacity_gb, recommended > 0 ? recommended : 1.0, scrub_bw_mbs);
+  return 0;
+}

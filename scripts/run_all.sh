@@ -1,0 +1,14 @@
+#!/bin/sh
+# Builds, tests, and regenerates every paper table/figure plus ablations.
+# Usage: ./scripts_run_all.sh [--quick]
+set -e
+[ "$1" = "--quick" ] && export ECCSIM_QUICK=1
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  case "$b" in
+    *microbench*) "$b" --benchmark_min_time=0.05 ;;
+    *) "$b" ;;
+  esac
+done

@@ -1,0 +1,128 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace eccsim::cache {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (cfg_.ways == 0 || cfg_.line_bytes == 0) {
+    throw std::invalid_argument("Cache: ways/line_bytes must be nonzero");
+  }
+  const std::uint64_t lines = cfg_.size_bytes / cfg_.line_bytes;
+  if (lines % cfg_.ways != 0) {
+    throw std::invalid_argument("Cache: size not divisible by ways");
+  }
+  num_sets_ = static_cast<std::uint32_t>(lines / cfg_.ways);
+  if (!std::has_single_bit(num_sets_)) {
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  }
+  sets_.assign(num_sets_, std::vector<Line>(cfg_.ways));
+}
+
+std::uint32_t Cache::set_index(std::uint64_t line_addr) const {
+  // Mix upper bits into the index so that the disjoint address namespaces
+  // used for ECC/XOR lines do not all collide into the same sets.
+  std::uint64_t h = line_addr * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return static_cast<std::uint32_t>(h & (num_sets_ - 1));
+}
+
+Cache::Line* Cache::find(std::uint64_t line_addr) {
+  auto& set = sets_[set_index(line_addr)];
+  for (auto& line : set) {
+    if (line.valid && line.addr == line_addr) return &line;
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(std::uint64_t line_addr) const {
+  const auto& set = sets_[set_index(line_addr)];
+  for (const auto& line : set) {
+    if (line.valid && line.addr == line_addr) return &line;
+  }
+  return nullptr;
+}
+
+AccessResult Cache::access(std::uint64_t line_addr, bool is_write,
+                           LineKind kind) {
+  ++tick_;
+  AccessResult result;
+  if (Line* line = find(line_addr)) {
+    result.hit = true;
+    line->lru = tick_;
+    line->dirty = line->dirty || is_write;
+    line->kind = kind;
+    ++stats_.hits;
+    return result;
+  }
+  ++stats_.misses;
+
+  // Miss: allocate, evicting the LRU way.
+  auto& set = sets_[set_index(line_addr)];
+  Line* victim = &set[0];
+  for (auto& line : set) {
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  if (victim->valid && victim->dirty) {
+    result.writeback = true;
+    result.victim_addr = victim->addr;
+    result.victim_kind = victim->kind;
+    ++stats_.writebacks;
+  }
+  victim->addr = line_addr;
+  victim->lru = tick_;
+  victim->kind = kind;
+  victim->valid = true;
+  victim->dirty = is_write;
+  return result;
+}
+
+AccessResult Cache::fill(std::uint64_t line_addr, LineKind kind) {
+  if (find(line_addr)) return AccessResult{.hit = true};
+  ++tick_;
+  AccessResult result;
+  auto& set = sets_[set_index(line_addr)];
+  Line* victim = &set[0];
+  for (auto& line : set) {
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  if (victim->valid && victim->dirty) {
+    result.writeback = true;
+    result.victim_addr = victim->addr;
+    result.victim_kind = victim->kind;
+    ++stats_.writebacks;
+  }
+  victim->addr = line_addr;
+  // Prefetched sibling fills insert at LRU-adjacent priority: they get the
+  // current tick like demand fills (simple and adequate for this model).
+  victim->lru = tick_;
+  victim->kind = kind;
+  victim->valid = true;
+  victim->dirty = false;
+  return result;
+}
+
+bool Cache::contains(std::uint64_t line_addr) const {
+  return find(line_addr) != nullptr;
+}
+
+bool Cache::invalidate(std::uint64_t line_addr) {
+  if (Line* line = find(line_addr)) {
+    const bool was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return was_dirty;
+  }
+  return false;
+}
+
+}  // namespace eccsim::cache

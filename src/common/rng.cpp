@@ -1,0 +1,4 @@
+#include "common/rng.hpp"
+
+// All of Rng is defined inline in the header; this TU anchors the library.
+namespace eccsim {}

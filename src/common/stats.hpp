@@ -1,0 +1,102 @@
+// Streaming statistics used throughout the simulator and the benchmark
+// harness: single-pass mean/variance (Welford), percentile estimation over
+// retained samples, histograms, and the geometric mean used by the paper's
+// cross-workload averages.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace eccsim {
+
+/// Single-pass mean / variance / min / max accumulator (Welford's method,
+/// numerically stable).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains all samples; supports exact percentiles.  Used for the Monte
+/// Carlo experiments that report 99.9th-percentile outcomes (Fig. 8).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+  double min() const;
+  double max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+  void merge(const SampleSet& other);
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily (re)built by percentile()
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp
+/// into the edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// Renders a compact ASCII bar chart (for example programs).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Geometric mean of a set of (positive) values.  The paper's "average
+/// reduction across workloads" figures are cross-workload means of ratios;
+/// we use the geometric mean for ratio aggregation.
+double geomean(const std::vector<double>& values);
+
+/// Arithmetic mean convenience.
+double mean(const std::vector<double>& values);
+
+}  // namespace eccsim

@@ -1,0 +1,46 @@
+// Text-table and CSV rendering for the benchmark harness.  Every figure /
+// table reproducer prints an aligned ASCII table (the paper's "rows and
+// series") and can optionally emit CSV for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eccsim {
+
+/// Builds an aligned, fixed-width text table.
+///
+/// Usage:
+///   Table t({"scheme", "EPI (nJ)", "reduction"});
+///   t.add_row({"chipkill36", "12.4", "--"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats a fraction as a percentage string, e.g. 0.125 -> "12.5%".
+  static std::string pct(double fraction, int precision = 1);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string str() const;
+  /// Renders as CSV (RFC-4180 quoting for cells containing commas/quotes).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `content` to `path`, creating parent directories if needed.
+/// Returns false (and leaves the filesystem untouched) on failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace eccsim

@@ -1,0 +1,40 @@
+// Common physical units and conversion constants.
+//
+// Conventions used across the simulator:
+//   - time in the DRAM simulator: memory-controller clock cycles (1 GHz, so
+//     1 cycle == 1 ns for the DDR3-2000 parts the paper models);
+//   - lifetime / reliability analysis: hours (FIT = failures per 10^9
+//     device-hours);
+//   - energy: picojoules internally, reported as nanojoules-per-instruction.
+#pragma once
+
+#include <cstdint>
+
+namespace eccsim::units {
+
+inline constexpr double kHoursPerYear = 24.0 * 365.25;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/// FIT (failures in time) = failures per billion device-hours.
+/// Converts a FIT rate into a per-hour failure rate.
+inline constexpr double fit_to_per_hour(double fit) { return fit * 1e-9; }
+
+/// Mean time between failures (hours) of a population of `devices` devices
+/// each failing at `fit` FIT, assuming independent exponential failures.
+inline constexpr double mtbf_hours(double fit, double devices) {
+  return 1.0 / (fit_to_per_hour(fit) * devices);
+}
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Energy conversions: the DRAM power model integrates current over time.
+/// current (mA) * voltage (V) * time (ns) = picojoules * 1e-3... we keep
+/// everything in picojoules: pJ = mA * V * ns.
+inline constexpr double picojoules(double milliamps, double volts,
+                                   double nanoseconds) {
+  return milliamps * volts * nanoseconds;
+}
+
+}  // namespace eccsim::units

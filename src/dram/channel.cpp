@@ -1,0 +1,310 @@
+#include "dram/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eccsim::dram {
+
+Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg) {
+  if (cfg_.ranks == 0 || cfg_.banks == 0) {
+    throw std::invalid_argument("Channel: ranks/banks must be nonzero");
+  }
+  ranks_.resize(cfg_.ranks);
+  for (auto& r : ranks_) {
+    r.banks.resize(cfg_.banks);
+    r.next_refresh = cfg_.device.timing.tREFI;
+  }
+}
+
+bool Channel::enqueue(const MemRequest& req) {
+  if (!can_accept()) return false;
+  if (req.addr.rank >= cfg_.ranks || req.addr.bank >= cfg_.banks) {
+    throw std::out_of_range("Channel::enqueue: rank/bank out of range");
+  }
+  queue_.push_back(req);
+  return true;
+}
+
+std::uint64_t Channel::earliest_act(const MemRequest& req,
+                                    std::uint64_t now) const {
+  const auto& t = cfg_.device.timing;
+  const RankState& rank = ranks_[req.addr.rank];
+  const BankState& bank = rank.banks[req.addr.bank];
+
+  if (cfg_.row_policy == RowPolicy::kOpenPage && bank.row_open &&
+      bank.open_row == req.addr.row &&
+      now <= bank.last_use + cfg_.open_row_timeout) {
+    // Row hit: no ACT needed; the comparable "start" time is the CAS gate.
+    return std::max(now, bank.next_cas);
+  }
+
+  std::uint64_t act = std::max(now, bank.next_act);
+  if (cfg_.row_policy == RowPolicy::kOpenPage && bank.row_open) {
+    // Row conflict: precharge the open row first.
+    act = std::max(act, std::max(now, bank.earliest_pre) + t.tRP);
+  }
+  act = std::max(act, rank.next_act_rrd);
+  // tFAW: a 5th ACT must wait for the oldest of the last 4 to age out.
+  if (rank.act_times.size() >= 4) {
+    act = std::max(act, rank.act_times.front() + t.tFAW);
+  }
+  // Power-down exit: if the rank has been idle past the timeout it is in
+  // precharge power-down and costs tXP to wake.
+  if (cfg_.powerdown_enabled && rank.active_until + cfg_.idle_pd_timeout < now) {
+    act = std::max(act, now + t.tXP);
+  }
+  return act;
+}
+
+std::uint64_t Channel::apply_refresh(RankState& rank, std::uint64_t t_act) {
+  const auto& t = cfg_.device.timing;
+  // Consume refresh intervals that elapsed before this activate; each one
+  // blocks the rank for tRFC at its scheduled point if the ACT would land
+  // inside the blackout.
+  while (rank.next_refresh + t.tRFC <= t_act) {
+    stats_.energy.refresh_pj +=
+        cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
+    rank.next_refresh += t.tREFI;
+  }
+  if (t_act >= rank.next_refresh) {
+    // ACT falls inside the refresh blackout: push it past tRFC.
+    stats_.energy.refresh_pj +=
+        cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
+    t_act = rank.next_refresh + t.tRFC;
+    rank.next_refresh += t.tREFI;
+  }
+  return t_act;
+}
+
+void Channel::account_background(RankState& rank, std::uint64_t until) {
+  if (until <= rank.bg_accounted_until) return;
+  const auto& e = cfg_.device.energy;
+  const double chips = cfg_.chips_per_rank;
+  std::uint64_t from = rank.bg_accounted_until;
+
+  // Split [from, until) into: active-standby while any bank is open
+  // (<= active_until), then precharge standby for the idle timeout, then
+  // power-down for the remainder.
+  if (from < rank.active_until) {
+    const std::uint64_t active_span = std::min(until, rank.active_until) - from;
+    stats_.energy.background_pj +=
+        static_cast<double>(active_span) * e.bg_act_pj_cyc * chips;
+    from += active_span;
+  }
+  if (from < until) {
+    const std::uint64_t idle_span = until - from;
+    std::uint64_t standby_span = idle_span;
+    std::uint64_t pd_span = 0;
+    if (cfg_.powerdown_enabled) {
+      // The rank idles in precharge standby for idle_pd_timeout cycles
+      // after its last precharge, then drops into power-down.
+      const std::uint64_t already_idle = from - rank.active_until;
+      const std::uint64_t timeout = cfg_.idle_pd_timeout;
+      if (already_idle >= timeout) {
+        standby_span = 0;
+        pd_span = idle_span;
+      } else if (idle_span > timeout - already_idle) {
+        standby_span = timeout - already_idle;
+        pd_span = idle_span - standby_span;
+      }
+    }
+    stats_.energy.background_pj +=
+        static_cast<double>(standby_span) * e.bg_pre_pj_cyc * chips +
+        static_cast<double>(pd_span) * e.bg_pd_pj_cyc * chips;
+  }
+  rank.bg_accounted_until = until;
+}
+
+std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
+  const auto& t = cfg_.device.timing;
+  const auto& e = cfg_.device.energy;
+  RankState& rank = ranks_[req.addr.rank];
+  BankState& bank = rank.banks[req.addr.bank];
+
+  // Open-page row hit: CAS straight into the open row, no ACT energy.
+  if (cfg_.row_policy == RowPolicy::kOpenPage && bank.row_open &&
+      bank.open_row == req.addr.row &&
+      now <= bank.last_use + cfg_.open_row_timeout) {
+    const unsigned cas_lat = req.is_write ? t.tCWL : t.tCL;
+    std::uint64_t data_start =
+        std::max(now, bank.next_cas) + cas_lat;
+    std::uint64_t bus_ready = bus_free_;
+    if (last_was_write_ && !req.is_write) bus_ready += t.tWTR;
+    else if (!last_was_write_ && req.is_write) bus_ready += t.tRTW;
+    data_start = std::max(data_start, bus_ready);
+    const std::uint64_t data_end = data_start + t.tBurst;
+    const std::uint64_t t_cas = data_start - cas_lat;
+
+    bank.next_cas = t_cas + t.tCCD;
+    bank.earliest_pre = std::max(
+        bank.earliest_pre,
+        req.is_write ? data_end + t.tWR : t_cas + t.tRTP);
+    bank.last_use = data_end;
+    ++row_hits_;
+
+    account_background(rank, now);
+    rank.active_until = std::max(rank.active_until,
+                                 data_end + cfg_.open_row_timeout);
+
+    const double chips = cfg_.chips_per_rank;
+    if (req.is_write) {
+      stats_.energy.write_pj += e.wr_burst_pj * chips;
+      ++stats_.writes;
+      if (req.line_class != LineClass::kData) ++stats_.ecc_writes;
+    } else {
+      stats_.energy.read_pj += e.rd_burst_pj * chips;
+      ++stats_.reads;
+      if (req.line_class != LineClass::kData) ++stats_.ecc_reads;
+      stats_.read_latency_sum += data_end - req.enqueue_cycle;
+    }
+    stats_.busy_data_cycles += t.tBurst;
+    bus_free_ = data_end;
+    last_was_write_ = req.is_write;
+    completions_.push(PendingCompletion{
+        data_end, MemCompletion{req.id, req.is_write, data_end}});
+    return data_end;
+  }
+
+  std::uint64_t t_act = earliest_act(req, now);
+  t_act = apply_refresh(rank, t_act);
+
+  // CAS data placement: first data cycle respects tRCD + CAS latency and
+  // the shared bus (with turnaround when direction changes).
+  const unsigned cas_lat = req.is_write ? t.tCWL : t.tCL;
+  std::uint64_t data_start = t_act + t.tRCD + cas_lat;
+  std::uint64_t bus_ready = bus_free_;
+  if (last_was_write_ && !req.is_write) {
+    bus_ready += t.tWTR;  // write-to-read turnaround
+  } else if (!last_was_write_ && req.is_write) {
+    bus_ready += t.tRTW;  // read-to-write turnaround
+  }
+  data_start = std::max(data_start, bus_ready);
+  const std::uint64_t data_end = data_start + t.tBurst;
+  const std::uint64_t t_cas = data_start - cas_lat;  // implied CAS issue
+
+  // Close-page policy: auto-precharge after the access.
+  std::uint64_t precharge_start;
+  if (req.is_write) {
+    precharge_start = data_end + t.tWR;
+  } else {
+    precharge_start = std::max<std::uint64_t>(t_cas + t.tRTP, t_act + t.tRAS);
+  }
+  precharge_start = std::max<std::uint64_t>(precharge_start, t_act + t.tRAS);
+  const std::uint64_t precharge_done = precharge_start + t.tRP;
+
+  // Book bank/rank state.
+  if (cfg_.row_policy == RowPolicy::kOpenPage) {
+    // The row stays open; remember what a future precharge must respect.
+    bank.row_open = true;
+    bank.open_row = req.addr.row;
+    bank.act_time = t_act;
+    bank.earliest_pre = precharge_start;
+    bank.next_cas = (data_end - t.tBurst - (req.is_write ? t.tCWL : t.tCL)) +
+                    t.tCCD;
+    bank.last_use = data_end;
+    bank.next_act = t_act + t.tRC;
+  } else {
+    bank.next_act = std::max(precharge_done, t_act + t.tRC);
+  }
+  rank.next_act_rrd = t_act + t.tRRD;
+  rank.act_times.push_back(t_act);
+  while (rank.act_times.size() > 4) rank.act_times.pop_front();
+
+  // Background accounting: charge everything up to this ACT first (the
+  // rank's standby/power-down history), then extend the active window.
+  account_background(rank, t_act);
+  rank.active_until = std::max(
+      rank.active_until,
+      cfg_.row_policy == RowPolicy::kOpenPage
+          ? data_end + cfg_.open_row_timeout
+          : precharge_done);
+
+  // Energy: all chips in the rank activate and burst together (this is the
+  // heart of the cross-scheme dynamic-energy differences: 36 chips for
+  // commercial chipkill vs 5 for LOT-ECC5).
+  const double chips = cfg_.chips_per_rank;
+  stats_.energy.activate_pj += e.act_pj * chips;
+  if (req.is_write) {
+    stats_.energy.write_pj += e.wr_burst_pj * chips;
+    ++stats_.writes;
+    if (req.line_class != LineClass::kData) ++stats_.ecc_writes;
+  } else {
+    stats_.energy.read_pj += e.rd_burst_pj * chips;
+    ++stats_.reads;
+    if (req.line_class != LineClass::kData) ++stats_.ecc_reads;
+    stats_.read_latency_sum += data_end - req.enqueue_cycle;
+  }
+  stats_.busy_data_cycles += t.tBurst;
+
+  bus_free_ = data_end;
+  last_was_write_ = req.is_write;
+
+  completions_.push(PendingCompletion{
+      data_end, MemCompletion{req.id, req.is_write, data_end}});
+  return data_end;
+}
+
+void Channel::tick(std::uint64_t now, std::vector<MemCompletion>& out) {
+  // Deliver finished transactions.
+  while (!completions_.empty() && completions_.top().finish <= now) {
+    out.push_back(completions_.top().completion);
+    completions_.pop();
+  }
+
+  if (queue_.empty()) return;
+
+  // Scheduler: examine up to `scheduler_window` oldest transactions, pick
+  // the one that can activate earliest; break ties in favor of the
+  // (rank, bank, row) with the most queued requests (DRAMsim's
+  // Most-Pending policy), then age.  FCFS degenerates to a window of 1.
+  const std::size_t window = std::min<std::size_t>(
+      queue_.size(), cfg_.scheduler == SchedulerPolicy::kFcfs
+                         ? 1
+                         : cfg_.scheduler_window);
+  std::size_t best = 0;
+  std::uint64_t best_act = ~0ULL;
+  std::size_t best_pending = 0;
+  for (std::size_t i = 0; i < window; ++i) {
+    const MemRequest& cand = queue_[i];
+    const std::uint64_t act = earliest_act(cand, now);
+    std::size_t same_row = 0;
+    for (std::size_t j = 0; j < window; ++j) {
+      const MemRequest& o = queue_[j];
+      if (o.addr.rank == cand.addr.rank && o.addr.bank == cand.addr.bank &&
+          o.addr.row == cand.addr.row) {
+        ++same_row;
+      }
+    }
+    if (act < best_act ||
+        (act == best_act && same_row > best_pending)) {
+      best = i;
+      best_act = act;
+      best_pending = same_row;
+    }
+  }
+
+  // Issue only when the winner can start "soon": we avoid booking a
+  // transaction far in the future so that later arrivals can still compete.
+  const auto& t = cfg_.device.timing;
+  if (best_act <= now + t.tRC) {
+    const MemRequest req = queue_[best];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+    issue(req, now);
+  }
+}
+
+void Channel::finalize(std::uint64_t end_cycle) {
+  for (auto& rank : ranks_) {
+    // Charge residual refresh energy for intervals that elapsed with no
+    // traffic to trigger apply_refresh().
+    const auto& t = cfg_.device.timing;
+    while (rank.next_refresh < end_cycle) {
+      stats_.energy.refresh_pj +=
+          cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
+      rank.next_refresh += t.tREFI;
+    }
+    account_background(rank, end_cycle);
+  }
+}
+
+}  // namespace eccsim::dram

@@ -1,0 +1,103 @@
+#include "dram/ddr3_params.hpp"
+
+#include "common/units.hpp"
+
+namespace eccsim::dram {
+
+std::string to_string(DeviceWidth w) {
+  switch (w) {
+    case DeviceWidth::kX4: return "x4";
+    case DeviceWidth::kX8: return "x8";
+    case DeviceWidth::kX16: return "x16";
+  }
+  return "x?";
+}
+
+namespace {
+
+Ddr3Energy derive_energy(const Ddr3Timing& t, const Ddr3Currents& c) {
+  using units::picojoules;
+  Ddr3Energy e;
+  // Micron TN-41-01 activate power: IDD0 minus the standby floor it was
+  // measured against (IDD3N during tRAS, IDD2N during tRC - tRAS), spread
+  // over one tRC.  Energy = that net current * VDD * tRC.
+  const double act_net_ma =
+      c.idd0 - (c.idd3n * t.tRAS + c.idd2n * (t.tRC - t.tRAS)) /
+                   static_cast<double>(t.tRC);
+  e.act_pj = picojoules(act_net_ma, c.vdd, static_cast<double>(t.tRC));
+  // Burst energy: current above active standby for the burst duration.
+  e.rd_burst_pj =
+      picojoules(c.idd4r - c.idd3n, c.vdd, static_cast<double>(t.tBurst));
+  e.wr_burst_pj =
+      picojoules(c.idd4w - c.idd3n, c.vdd, static_cast<double>(t.tBurst));
+  e.refresh_pj =
+      picojoules(c.idd5b - c.idd2n, c.vdd, static_cast<double>(t.tRFC));
+  e.bg_pd_pj_cyc = picojoules(c.idd2p, c.vdd, 1.0);
+  e.bg_pre_pj_cyc = picojoules(c.idd2n, c.vdd, 1.0);
+  e.bg_act_pj_cyc = picojoules(c.idd3n, c.vdd, 1.0);
+  return e;
+}
+
+}  // namespace
+
+Ddr3Device micron_2gb(DeviceWidth width, double speed_factor) {
+  Ddr3Device d;
+  d.width = width;
+  d.capacity_mbit = 2048;
+  d.banks = 8;
+  switch (width) {
+    case DeviceWidth::kX4:
+      d.columns = 2048;
+      d.page_bytes = 1024;  // 2K columns * 4 bits = 1KB row
+      d.currents.idd4r = 140;
+      d.currents.idd4w = 145;
+      break;
+    case DeviceWidth::kX8:
+      d.columns = 1024;
+      d.page_bytes = 1024;  // 1K columns * 8 bits = 1KB row
+      d.currents.idd4r = 160;
+      d.currents.idd4w = 165;
+      break;
+    case DeviceWidth::kX16:
+      d.columns = 1024;
+      d.page_bytes = 2048;  // 1K columns * 16 bits = 2KB row
+      d.currents.idd0 = 115;
+      d.currents.idd4r = 230;
+      d.currents.idd4w = 240;
+      d.currents.idd5b = 255;
+      d.timing.tFAW = 40;  // wider page -> longer four-activate window
+      d.timing.tRRD = 8;
+      break;
+  }
+  // Rows follow from capacity = banks * rows * columns * width:
+  // x4 -> 32K rows, x8 -> 32K rows, x16 -> 16K rows for the 2Gb part.
+  d.rows = d.capacity_mbit * 1024 * 1024 /
+           (static_cast<std::uint64_t>(d.banks) * d.columns *
+            static_cast<unsigned>(width));
+
+  d.speed_factor = speed_factor;
+  if (speed_factor != 1.0) {
+    // A faster speed bin shortens cycle-denominated latencies but raises
+    // currents slightly (Sec. V-D estimates a 16% faster bin costs ~5% EPI).
+    auto scale = [&](unsigned v) {
+      return static_cast<unsigned>(static_cast<double>(v) / speed_factor);
+    };
+    d.timing.tRCD = scale(d.timing.tRCD);
+    d.timing.tCL = scale(d.timing.tCL);
+    d.timing.tRP = scale(d.timing.tRP);
+    const double current_scale = 1.0 + 0.3 * (speed_factor - 1.0);
+    d.currents.idd0 *= current_scale;
+    d.currents.idd2n *= current_scale;
+    d.currents.idd3n *= current_scale;
+    d.currents.idd4r *= current_scale;
+    d.currents.idd4w *= current_scale;
+  }
+  d.energy = derive_energy(d.timing, d.currents);
+  return d;
+}
+
+void rederive_energy(Ddr3Device& device) {
+  device.energy = derive_energy(device.timing, device.currents);
+}
+
+}  // namespace eccsim::dram

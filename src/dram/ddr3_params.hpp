@@ -1,0 +1,103 @@
+// DDR3 device timing and current (IDD) parameters.
+//
+// The paper (Sec. IV-B) models 2Gb DDR3 DRAM chips with a 1 GHz I/O clock
+// (DDR3-2000), with parameters taken from die revision D of the Micron 2Gb
+// DDR3 SDRAM datasheet, and computes power with the standard Micron
+// methodology (TN-41-01): activate energy from IDD0 against the standby
+// floor, burst energy from IDD4R/IDD4W, background power from
+// IDD2P/IDD2N/IDD3N, refresh from IDD5B.
+//
+// All timing values are stored in memory-controller clock cycles.  The
+// controller clock is 1 GHz (1 ns per cycle), so cycle counts equal
+// nanoseconds for this part.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eccsim::dram {
+
+/// DRAM device data-bus width.  Width determines burst energy (more DQ pins
+/// toggle) and the number of chips needed per rank.
+enum class DeviceWidth : std::uint8_t { kX4 = 4, kX8 = 8, kX16 = 16 };
+
+std::string to_string(DeviceWidth w);
+
+/// Timing constraints in controller cycles (1 ns @ 1 GHz).
+struct Ddr3Timing {
+  unsigned tCK = 1;     ///< controller clock period (cycles; identity)
+  unsigned tRCD = 14;   ///< ACT to RD/WR
+  unsigned tCL = 14;    ///< RD to first data
+  unsigned tCWL = 10;   ///< WR to first data
+  unsigned tRP = 14;    ///< PRE to ACT
+  unsigned tRAS = 35;   ///< ACT to PRE
+  unsigned tRC = 49;    ///< ACT to ACT, same bank
+  unsigned tRRD = 6;    ///< ACT to ACT, same rank
+  unsigned tFAW = 30;   ///< four-activate window, same rank
+  unsigned tWR = 15;    ///< end of write data to PRE
+  unsigned tWTR = 8;    ///< end of write data to RD, same rank
+  unsigned tRTP = 8;    ///< RD to PRE
+  unsigned tCCD = 4;    ///< column-to-column (burst gap)
+  unsigned tBurst = 4;  ///< BL8 at double data rate occupies 4 clocks
+  unsigned tRFC = 160;  ///< refresh cycle time (2Gb part)
+  unsigned tREFI = 7800;  ///< average refresh interval
+  unsigned tXP = 6;     ///< power-down exit to first command
+  unsigned tCKE = 6;    ///< minimum power-down residency
+  unsigned tRTW = 8;    ///< read-to-write bus turnaround, same channel
+};
+
+/// IDD currents in milliamps and the supply voltage.
+struct Ddr3Currents {
+  double idd0 = 95;    ///< one-bank ACT-PRE cycling
+  double idd2p = 12;   ///< precharge power-down (slow exit)
+  double idd2n = 45;   ///< precharge standby
+  double idd3p = 50;   ///< active power-down
+  double idd3n = 62;   ///< active standby
+  double idd4r = 140;  ///< burst read
+  double idd4w = 145;  ///< burst write
+  double idd5b = 235;  ///< burst refresh
+  double vdd = 1.5;    ///< supply voltage (volts)
+};
+
+/// Per-event / per-state energy quantities derived from the currents, in
+/// picojoules (energy) and picojoules-per-cycle (power at 1 ns cycles).
+struct Ddr3Energy {
+  double act_pj = 0;        ///< one ACT+PRE pair, per chip
+  double rd_burst_pj = 0;   ///< one BL8 read burst, per chip
+  double wr_burst_pj = 0;   ///< one BL8 write burst, per chip
+  double refresh_pj = 0;    ///< one REF command, per chip
+  double bg_pd_pj_cyc = 0;      ///< background, precharge power-down
+  double bg_pre_pj_cyc = 0;     ///< background, precharge standby
+  double bg_act_pj_cyc = 0;     ///< background, active standby
+};
+
+/// A complete device description.
+struct Ddr3Device {
+  DeviceWidth width = DeviceWidth::kX8;
+  std::uint64_t capacity_mbit = 2048;  ///< 2Gb parts throughout the paper
+  unsigned banks = 8;
+  std::uint64_t rows = 32768;     ///< derived; see micron_2gb()
+  unsigned columns = 1024;        ///< column addresses per row
+  unsigned page_bytes = 2048;     ///< row-buffer size in bytes
+  Ddr3Timing timing;
+  Ddr3Currents currents;
+  Ddr3Energy energy;  ///< derived from currents+timing by micron_2gb()
+
+  /// A speed-multiplier knob for the Sec. V-D discussion (a 16% faster speed
+  /// bin costs ~5% memory energy); 1.0 for the standard part.
+  double speed_factor = 1.0;
+};
+
+/// Builds the 2Gb Micron die-rev-D device model for a given width.
+/// Geometry: x4 -> 2KB... DDR3 2Gb parts: x4: 16 banks? No: 2Gb DDR3 has 8
+/// banks for all widths; x4/x8 have 32K rows (x4: 2K cols, x8: 1K cols),
+/// x16 has 16K rows.  IDD4 scales with width (more DQ toggling); IDD0/IDD5
+/// are slightly higher for x16.
+Ddr3Device micron_2gb(DeviceWidth width, double speed_factor = 1.0);
+
+/// Recomputes the derived per-event energies from the device's current
+/// timing and IDD values.  Call after editing currents (e.g. to model the
+/// LOT-ECC5 mixed x16/x8 rank as scaled x16 chips).
+void rederive_energy(Ddr3Device& device);
+
+}  // namespace eccsim::dram

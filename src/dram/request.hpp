@@ -1,0 +1,51 @@
+// Memory request / completion types shared between the DRAM simulator and
+// everything above it (LLC, ECC schemes, the ECC Parity overlay).
+#pragma once
+
+#include <cstdint>
+
+namespace eccsim::dram {
+
+/// Physical location of one memory line: (channel, rank, bank, row, column),
+/// where "row" is a logical 4KB row (one physical page, Fig. 4 of the paper)
+/// and "col" indexes lines within that row.
+struct DramAddress {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  std::uint32_t col = 0;
+
+  friend bool operator==(const DramAddress&, const DramAddress&) = default;
+};
+
+/// What kind of line a request touches.  Purely bookkeeping: the DRAM
+/// simulator treats all classes identically, but the statistics separate
+/// demand traffic from ECC-maintenance traffic (Figs. 16/17 count both).
+enum class LineClass : std::uint8_t {
+  kData = 0,      ///< application data
+  kEccParity,     ///< an ECC parity line (Sec. III-A)
+  kEccCorrection, ///< a materialized ECC-correction line (Sec. III-B)
+  kEccOther,      ///< baseline-scheme ECC lines (LOT-ECC tier 2, Multi-ECC)
+};
+
+/// One transaction presented to a memory channel.  Every request moves one
+/// memory line (the configured line size; a 128B line on a 36-device
+/// chipkill system counts as two 64B "accesses" in the paper's Fig. 16
+/// metric -- that normalization happens in the statistics layer).
+struct MemRequest {
+  std::uint64_t id = 0;
+  DramAddress addr;
+  bool is_write = false;
+  LineClass line_class = LineClass::kData;
+  std::uint64_t enqueue_cycle = 0;
+};
+
+/// Completion record handed back to the requester.
+struct MemCompletion {
+  std::uint64_t id = 0;
+  bool is_write = false;
+  std::uint64_t finish_cycle = 0;
+};
+
+}  // namespace eccsim::dram

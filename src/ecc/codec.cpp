@@ -1,0 +1,562 @@
+#include "ecc/codec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gf/rs.hpp"
+
+namespace eccsim::ecc {
+
+namespace {
+
+using gf::Rs8;
+using gf::RsDecodeResult;
+
+// ---------------------------------------------------------------------------
+// 36-device commercial chipkill correct.
+//
+// A 128B line is four 32B words.  Word w places byte i on chip i (data
+// chips 0..31), detection check bytes on chips 32..33, correction check
+// bytes on chips 34..35.  Detection code: RS(34,32); correction code:
+// RS(36,34) over (data || detection).
+class Chipkill36Codec final : public LineCodec {
+ public:
+  Chipkill36Codec() : det_code_(34, 32), corr_code_(36, 34) {}
+
+  unsigned data_bytes() const override { return 128; }
+  unsigned detection_bytes() const override { return 8; }
+  unsigned correction_bytes() const override { return 8; }
+  unsigned chips() const override { return 36; }
+
+  std::vector<std::uint8_t> detection_bits(
+      std::span<const std::uint8_t> data) const override {
+    require_size(data, data_bytes(), "data");
+    std::vector<std::uint8_t> det(detection_bytes());
+    for (unsigned w = 0; w < 4; ++w) {
+      const auto checks = det_code_.parity(data.subspan(w * 32, 32));
+      det[w * 2] = checks[0];
+      det[w * 2 + 1] = checks[1];
+    }
+    return det;
+  }
+
+  std::vector<std::uint8_t> correction_bits(
+      std::span<const std::uint8_t> data) const override {
+    require_size(data, data_bytes(), "data");
+    const auto det = detection_bits(data);
+    std::vector<std::uint8_t> corr(correction_bytes());
+    std::vector<std::uint8_t> message(34);
+    for (unsigned w = 0; w < 4; ++w) {
+      std::copy_n(data.begin() + w * 32, 32, message.begin());
+      message[32] = det[w * 2];
+      message[33] = det[w * 2 + 1];
+      const auto checks = corr_code_.parity(message);
+      corr[w * 2] = checks[0];
+      corr[w * 2 + 1] = checks[1];
+    }
+    return corr;
+  }
+
+  bool detect(std::span<const std::uint8_t> data,
+              std::span<const std::uint8_t> det) const override {
+    require_size(data, data_bytes(), "data");
+    require_size(det, detection_bytes(), "det");
+    for (unsigned w = 0; w < 4; ++w) {
+      std::vector<std::uint8_t> cw(34);
+      cw[0] = det[w * 2];
+      cw[1] = det[w * 2 + 1];
+      std::copy_n(data.begin() + w * 32, 32, cw.begin() + 2);
+      if (!det_code_.check(cw)) return true;
+    }
+    return false;
+  }
+
+  CodecResult correct(std::span<std::uint8_t> data,
+                      std::span<const std::uint8_t> det,
+                      std::span<const std::uint8_t> corr,
+                      std::span<const unsigned> known_bad_chips)
+      const override {
+    require_size(data, data_bytes(), "data");
+    require_size(det, detection_bytes(), "det");
+    require_size(corr, correction_bytes(), "corr");
+    CodecResult result;
+    result.detected = detect(data, det);
+    std::vector<bool> chip_fixed(chips(), false);
+    for (unsigned w = 0; w < 4; ++w) {
+      // Codeword layout: [corr0 corr1 | data*32 det0 det1].
+      std::vector<std::uint8_t> cw(36);
+      cw[0] = corr[w * 2];
+      cw[1] = corr[w * 2 + 1];
+      std::copy_n(data.begin() + w * 32, 32, cw.begin() + 2);
+      cw[34] = det[w * 2];
+      cw[35] = det[w * 2 + 1];
+      std::vector<unsigned> erasures;
+      for (unsigned chip : known_bad_chips) {
+        erasures.push_back(chip_to_codeword_pos(chip));
+      }
+      const std::vector<std::uint8_t> before = cw;
+      const RsDecodeResult dec = corr_code_.decode(cw, erasures);
+      if (!dec.ok) return result;  // uncorrectable
+      for (unsigned i = 0; i < 36; ++i) {
+        if (cw[i] != before[i]) chip_fixed[codeword_pos_to_chip(i)] = true;
+      }
+      std::copy_n(cw.begin() + 2, 32, data.begin() + w * 32);
+    }
+    result.ok = true;
+    result.corrected_chips = static_cast<unsigned>(
+        std::count(chip_fixed.begin(), chip_fixed.end(), true));
+    return result;
+  }
+
+  std::vector<unsigned> chip_data_offsets(unsigned chip) const override {
+    std::vector<unsigned> offsets;
+    if (chip < 32) {
+      for (unsigned w = 0; w < 4; ++w) offsets.push_back(w * 32 + chip);
+    }
+    return offsets;  // chips 32..35 hold det/corr, not data
+  }
+
+ private:
+  static void require_size(std::span<const std::uint8_t> s, unsigned n,
+                           const char* what) {
+    if (s.size() != n) {
+      throw std::invalid_argument(std::string("Chipkill36Codec: bad ") +
+                                  what + " size");
+    }
+  }
+  /// Chip index -> position in the RS(36,34) codeword.
+  static unsigned chip_to_codeword_pos(unsigned chip) {
+    if (chip < 32) return chip + 2;   // data
+    if (chip < 34) return chip + 2;   // det chips 32,33 -> positions 34,35
+    return chip - 34;                 // corr chips 34,35 -> positions 0,1
+  }
+  static unsigned codeword_pos_to_chip(unsigned pos) {
+    if (pos < 2) return pos + 34;
+    return pos - 2 < 32 ? pos - 2 : pos - 2;  // 2..33 -> chips 0..31;
+                                              // 34,35 -> chips 32,33
+  }
+
+  Rs8 det_code_;
+  Rs8 corr_code_;
+};
+
+// ---------------------------------------------------------------------------
+// 18-device commercial chipkill correct: one RS(18,16) code per 16B word;
+// a 64B line is four words; byte i of each word sits on chip i.
+class Chipkill18Codec final : public LineCodec {
+ public:
+  Chipkill18Codec() : code_(18, 16) {}
+
+  unsigned data_bytes() const override { return 64; }
+  unsigned detection_bytes() const override { return 8; }
+  unsigned correction_bytes() const override { return 0; }
+  unsigned chips() const override { return 18; }
+
+  std::vector<std::uint8_t> detection_bits(
+      std::span<const std::uint8_t> data) const override {
+    require(data.size() == data_bytes(), "data size");
+    std::vector<std::uint8_t> det(detection_bytes());
+    for (unsigned w = 0; w < 4; ++w) {
+      const auto checks = code_.parity(data.subspan(w * 16, 16));
+      det[w * 2] = checks[0];
+      det[w * 2 + 1] = checks[1];
+    }
+    return det;
+  }
+
+  std::vector<std::uint8_t> correction_bits(
+      std::span<const std::uint8_t>) const override {
+    return {};  // the two check symbols do double duty
+  }
+
+  bool detect(std::span<const std::uint8_t> data,
+              std::span<const std::uint8_t> det) const override {
+    require(data.size() == data_bytes() && det.size() == detection_bytes(),
+            "sizes");
+    for (unsigned w = 0; w < 4; ++w) {
+      std::vector<std::uint8_t> cw(18);
+      cw[0] = det[w * 2];
+      cw[1] = det[w * 2 + 1];
+      std::copy_n(data.begin() + w * 16, 16, cw.begin() + 2);
+      if (!code_.check(cw)) return true;
+    }
+    return false;
+  }
+
+  CodecResult correct(std::span<std::uint8_t> data,
+                      std::span<const std::uint8_t> det,
+                      std::span<const std::uint8_t> /*corr*/,
+                      std::span<const unsigned> known_bad_chips)
+      const override {
+    CodecResult result;
+    result.detected = detect(data, det);
+    std::vector<bool> chip_fixed(chips(), false);
+    for (unsigned w = 0; w < 4; ++w) {
+      std::vector<std::uint8_t> cw(18);
+      cw[0] = det[w * 2];
+      cw[1] = det[w * 2 + 1];
+      std::copy_n(data.begin() + w * 16, 16, cw.begin() + 2);
+      std::vector<unsigned> erasures;
+      for (unsigned chip : known_bad_chips) {
+        erasures.push_back(chip < 16 ? chip + 2 : chip - 16);
+      }
+      const std::vector<std::uint8_t> before = cw;
+      const RsDecodeResult dec = code_.decode(cw, erasures);
+      if (!dec.ok) return result;
+      for (unsigned i = 0; i < 18; ++i) {
+        if (cw[i] != before[i]) {
+          chip_fixed[i < 2 ? 16 + i : i - 2] = true;
+        }
+      }
+      std::copy_n(cw.begin() + 2, 16, data.begin() + w * 16);
+    }
+    result.ok = true;
+    result.corrected_chips = static_cast<unsigned>(
+        std::count(chip_fixed.begin(), chip_fixed.end(), true));
+    return result;
+  }
+
+  std::vector<unsigned> chip_data_offsets(unsigned chip) const override {
+    std::vector<unsigned> offsets;
+    if (chip < 16) {
+      for (unsigned w = 0; w < 4; ++w) offsets.push_back(w * 16 + chip);
+    }
+    return offsets;
+  }
+
+ private:
+  static void require(bool cond, const char* what) {
+    if (!cond) {
+      throw std::invalid_argument(std::string("Chipkill18Codec: bad ") + what);
+    }
+  }
+  Rs8 code_;
+};
+
+// ---------------------------------------------------------------------------
+// LOT-ECC (tiered): `data_chips` equal shares of a 64B line; tier-1
+// detection = a per-chip checksum (Fletcher-style, sensitive to reordering
+// within the share); tier-2 correction = XOR of the shares.  Correction is
+// erasure-only: tier 1 localizes, tier 2 reconstructs (Sec. VI-D notes the
+// intra-chip checksum limitation this design inherits).
+class LotEccCodec final : public LineCodec {
+ public:
+  LotEccCodec(unsigned data_chips, unsigned checksum_bytes_per_chip)
+      : data_chips_(data_chips),
+        cksum_bytes_(checksum_bytes_per_chip),
+        share_bytes_(64 / data_chips) {
+    if (64 % data_chips != 0) {
+      throw std::invalid_argument("LotEccCodec: chips must divide 64");
+    }
+  }
+
+  unsigned data_bytes() const override { return 64; }
+  unsigned detection_bytes() const override {
+    return data_chips_ * cksum_bytes_;
+  }
+  unsigned correction_bytes() const override { return share_bytes_; }
+  unsigned chips() const override { return data_chips_ + 1; }  // + ECC chip
+
+  std::vector<std::uint8_t> detection_bits(
+      std::span<const std::uint8_t> data) const override {
+    require(data.size() == data_bytes());
+    std::vector<std::uint8_t> det;
+    det.reserve(detection_bytes());
+    for (unsigned c = 0; c < data_chips_; ++c) {
+      const auto sum = checksum(share(data, c));
+      for (unsigned b = 0; b < cksum_bytes_; ++b) {
+        det.push_back(static_cast<std::uint8_t>(sum >> (8 * b)));
+      }
+    }
+    return det;
+  }
+
+  std::vector<std::uint8_t> correction_bits(
+      std::span<const std::uint8_t> data) const override {
+    require(data.size() == data_bytes());
+    std::vector<std::uint8_t> corr(share_bytes_, 0);
+    for (unsigned c = 0; c < data_chips_; ++c) {
+      const auto s = share(data, c);
+      for (unsigned b = 0; b < share_bytes_; ++b) corr[b] ^= s[b];
+    }
+    return corr;
+  }
+
+  bool detect(std::span<const std::uint8_t> data,
+              std::span<const std::uint8_t> det) const override {
+    return !locate(data, det).empty();
+  }
+
+  CodecResult correct(std::span<std::uint8_t> data,
+                      std::span<const std::uint8_t> det,
+                      std::span<const std::uint8_t> corr,
+                      std::span<const unsigned> known_bad_chips)
+      const override {
+    require(data.size() == data_bytes() && corr.size() == share_bytes_);
+    CodecResult result;
+    std::vector<unsigned> bad = locate(data, det);
+    result.detected = !bad.empty();
+    for (unsigned chip : known_bad_chips) {
+      if (chip < data_chips_ &&
+          std::find(bad.begin(), bad.end(), chip) == bad.end()) {
+        bad.push_back(chip);
+      }
+    }
+    if (bad.empty()) {
+      result.ok = true;
+      return result;
+    }
+    if (bad.size() > 1) return result;  // tier 2 is single-erasure only
+    const unsigned chip = bad[0];
+    // Reconstruct the bad share: corr XOR all healthy shares.
+    std::vector<std::uint8_t> fixed(corr.begin(), corr.end());
+    for (unsigned c = 0; c < data_chips_; ++c) {
+      if (c == chip) continue;
+      const auto s = share(data, c);
+      for (unsigned b = 0; b < share_bytes_; ++b) fixed[b] ^= s[b];
+    }
+    std::copy(fixed.begin(), fixed.end(),
+              data.begin() + chip * share_bytes_);
+    // Verify tier 1 now passes for that chip.
+    if (checksum(share(data, chip)) != stored_checksum(det, chip)) {
+      return result;  // the checksum itself was corrupted too: give up
+    }
+    result.ok = true;
+    result.corrected_chips = 1;
+    return result;
+  }
+
+  std::vector<unsigned> chip_data_offsets(unsigned chip) const override {
+    std::vector<unsigned> offsets;
+    if (chip < data_chips_) {
+      for (unsigned b = 0; b < share_bytes_; ++b) {
+        offsets.push_back(chip * share_bytes_ + b);
+      }
+    }
+    return offsets;
+  }
+
+ private:
+  void require(bool cond) const {
+    if (!cond) throw std::invalid_argument("LotEccCodec: bad span size");
+  }
+  std::span<const std::uint8_t> share(std::span<const std::uint8_t> data,
+                                      unsigned chip) const {
+    return data.subspan(chip * share_bytes_, share_bytes_);
+  }
+  std::uint64_t checksum(std::span<const std::uint8_t> s) const {
+    // Fletcher-style two-part sum FOLDED (not truncated) to cksum_bytes_.
+    // Truncation would keep only the order-insensitive byte-sum part,
+    // which a structured corruption (e.g. the same XOR pattern applied to
+    // every byte of the share) can collide far too easily; folding mixes
+    // the position-sensitive 'b' accumulator into every kept bit.
+    std::uint32_t a = 1, b = 0;
+    for (std::uint8_t v : s) {
+      a = (a + v) % 65521u;
+      b = (b + a) % 65521u;
+    }
+    std::uint64_t full = (static_cast<std::uint64_t>(b) << 16) | a;
+    const unsigned bits = 8 * cksum_bytes_;
+    if (bits >= 32) return full;
+    std::uint64_t folded = 0;
+    while (full != 0) {
+      folded ^= full & ((1ULL << bits) - 1);
+      full >>= bits;
+    }
+    return folded;
+  }
+  std::uint64_t stored_checksum(std::span<const std::uint8_t> det,
+                                unsigned chip) const {
+    std::uint64_t v = 0;
+    for (unsigned b = 0; b < cksum_bytes_; ++b) {
+      v |= static_cast<std::uint64_t>(det[chip * cksum_bytes_ + b])
+           << (8 * b);
+    }
+    return v;
+  }
+  std::vector<unsigned> locate(std::span<const std::uint8_t> data,
+                               std::span<const std::uint8_t> det) const {
+    std::vector<unsigned> bad;
+    for (unsigned c = 0; c < data_chips_; ++c) {
+      if (checksum(share(data, c)) != stored_checksum(det, c)) {
+        bad.push_back(c);
+      }
+    }
+    return bad;
+  }
+
+  unsigned data_chips_;
+  unsigned cksum_bytes_;
+  unsigned share_bytes_;
+};
+
+// ---------------------------------------------------------------------------
+// RAIM: the line is striped across `data_dimms` DIMMs; each DIMM's share
+// carries RS check symbols (detection + DIMM localization), and one parity
+// DIMM's worth of XOR is the correction information.
+//   - classic RAIM (45 chips): 128B line, 4 data DIMMs of 32B + parity.
+//   - RAIM+ECC Parity rank (18 chips): 64B line, 2 data DIMMs of 32B; the
+//     32B XOR is stored via ECC parities (R = 0.5).
+class RaimCodec final : public LineCodec {
+ public:
+  RaimCodec(unsigned line_bytes, unsigned data_dimms)
+      : line_bytes_(line_bytes),
+        data_dimms_(data_dimms),
+        share_bytes_(line_bytes / data_dimms),
+        det_per_dimm_(4) {
+    if (line_bytes % data_dimms != 0 || share_bytes_ % 8 != 0) {
+      throw std::invalid_argument("RaimCodec: bad geometry");
+    }
+  }
+
+  unsigned data_bytes() const override { return line_bytes_; }
+  unsigned detection_bytes() const override {
+    return data_dimms_ * det_per_dimm_;
+  }
+  unsigned correction_bytes() const override { return share_bytes_; }
+  unsigned chips() const override { return data_dimms_; }  // DIMM granularity
+
+  std::vector<std::uint8_t> detection_bits(
+      std::span<const std::uint8_t> data) const override {
+    require(data.size() == data_bytes());
+    std::vector<std::uint8_t> det;
+    det.reserve(detection_bytes());
+    for (unsigned d = 0; d < data_dimms_; ++d) {
+      // Four interleaved GF(2^8) polynomial-evaluation checks per DIMM
+      // share: each check is a Horner evaluation at a fixed field point
+      // over every 4th byte, so any corruption of the share flips at least
+      // one check except with probability ~2^-32.
+      const auto s = share(data, d);
+      for (unsigned i = 0; i < det_per_dimm_; ++i) {
+        std::uint8_t acc = 0;
+        for (unsigned b = i; b < share_bytes_; b += det_per_dimm_) {
+          acc = gf::GF256::add(gf::GF256::mul(acc, 29), s[b]);
+        }
+        det.push_back(acc);
+      }
+    }
+    return det;
+  }
+
+  std::vector<std::uint8_t> correction_bits(
+      std::span<const std::uint8_t> data) const override {
+    require(data.size() == data_bytes());
+    std::vector<std::uint8_t> corr(share_bytes_, 0);
+    for (unsigned d = 0; d < data_dimms_; ++d) {
+      const auto s = share(data, d);
+      for (unsigned b = 0; b < share_bytes_; ++b) corr[b] ^= s[b];
+    }
+    return corr;
+  }
+
+  bool detect(std::span<const std::uint8_t> data,
+              std::span<const std::uint8_t> det) const override {
+    return !locate(data, det).empty();
+  }
+
+  CodecResult correct(std::span<std::uint8_t> data,
+                      std::span<const std::uint8_t> det,
+                      std::span<const std::uint8_t> corr,
+                      std::span<const unsigned> known_bad_chips)
+      const override {
+    require(data.size() == data_bytes() && corr.size() == share_bytes_);
+    CodecResult result;
+    std::vector<unsigned> bad = locate(data, det);
+    result.detected = !bad.empty();
+    for (unsigned d : known_bad_chips) {
+      if (d < data_dimms_ && std::find(bad.begin(), bad.end(), d) == bad.end())
+        bad.push_back(d);
+    }
+    if (bad.empty()) {
+      result.ok = true;
+      return result;
+    }
+    if (bad.size() > 1) return result;  // DIMM-kill: one DIMM at a time
+    const unsigned dimm = bad[0];
+    std::vector<std::uint8_t> fixed(corr.begin(), corr.end());
+    for (unsigned d = 0; d < data_dimms_; ++d) {
+      if (d == dimm) continue;
+      const auto s = share(data, d);
+      for (unsigned b = 0; b < share_bytes_; ++b) fixed[b] ^= s[b];
+    }
+    std::copy(fixed.begin(), fixed.end(),
+              data.begin() + dimm * share_bytes_);
+    // Confirm the repaired share matches its stored detection symbols.
+    const auto recheck = locate(data, det);
+    if (std::find(recheck.begin(), recheck.end(), dimm) != recheck.end()) {
+      return result;
+    }
+    result.ok = true;
+    result.corrected_chips = 1;
+    return result;
+  }
+
+  std::vector<unsigned> chip_data_offsets(unsigned dimm) const override {
+    std::vector<unsigned> offsets;
+    if (dimm < data_dimms_) {
+      for (unsigned b = 0; b < share_bytes_; ++b) {
+        offsets.push_back(dimm * share_bytes_ + b);
+      }
+    }
+    return offsets;
+  }
+
+ private:
+  void require(bool cond) const {
+    if (!cond) throw std::invalid_argument("RaimCodec: bad span size");
+  }
+  std::span<const std::uint8_t> share(std::span<const std::uint8_t> data,
+                                      unsigned dimm) const {
+    return data.subspan(dimm * share_bytes_, share_bytes_);
+  }
+  std::vector<unsigned> locate(std::span<const std::uint8_t> data,
+                               std::span<const std::uint8_t> det) const {
+    std::vector<unsigned> bad;
+    for (unsigned d = 0; d < data_dimms_; ++d) {
+      const auto s = share(data, d);
+      for (unsigned i = 0; i < det_per_dimm_; ++i) {
+        std::uint8_t acc = 0;
+        for (unsigned b = i; b < share_bytes_; b += det_per_dimm_) {
+          acc = gf::GF256::add(gf::GF256::mul(acc, 29), s[b]);
+        }
+        if (acc != det[d * det_per_dimm_ + i]) {
+          bad.push_back(d);
+          break;
+        }
+      }
+    }
+    return bad;
+  }
+
+  unsigned line_bytes_;
+  unsigned data_dimms_;
+  unsigned share_bytes_;
+  unsigned det_per_dimm_;
+};
+
+}  // namespace
+
+std::unique_ptr<LineCodec> make_codec(SchemeId id) {
+  switch (id) {
+    case SchemeId::kChipkill36:
+      return std::make_unique<Chipkill36Codec>();
+    case SchemeId::kChipkill18:
+      return std::make_unique<Chipkill18Codec>();
+    case SchemeId::kLotEcc5:
+    case SchemeId::kLotEcc5Parity:
+      return std::make_unique<LotEccCodec>(4, 2);
+    case SchemeId::kLotEcc9:
+      return std::make_unique<LotEccCodec>(8, 1);
+    case SchemeId::kRaim:
+      return std::make_unique<RaimCodec>(128, 4);
+    case SchemeId::kRaimParity:
+      return std::make_unique<RaimCodec>(64, 2);
+    case SchemeId::kMultiEcc:
+      throw std::invalid_argument(
+          "Multi-ECC corrects at multi-line granularity; use "
+          "ecc::MultiEccGroupCodec (multiecc.hpp)");
+  }
+  throw std::invalid_argument("make_codec: unknown scheme");
+}
+
+}  // namespace eccsim::ecc

@@ -1,0 +1,90 @@
+// Functional line codecs: real encode / detect / correct for each ECC
+// scheme's per-line code.
+//
+// Each codec splits its redundancy the way the paper does (Sec. II):
+//
+//   detection bits  -- stored inline in every channel, checked on the fly;
+//   correction bits -- the part ECC Parity replaces with a cross-channel
+//                      parity for healthy regions.
+//
+// Construction per scheme:
+//   - chipkill36: per 32-byte word, detection = the 2 check symbols of an
+//     RS(34,32) code over GF(2^8); correction = the 2 check symbols of an
+//     RS(36,34) code over (data || detection).  One byte per chip per word;
+//     a chip failure is a single-symbol error (correctable), two-chip
+//     errors are detectable by the outer code.
+//   - chipkill18: one RS(18,16) code; its 2 check symbols both detect and
+//     correct (no separable correction bits -- hence ECC Parity does not
+//     apply, Sec. IV-A).
+//   - LOT-ECC (5- and 9-chip): detection = per-chip checksums (tier 1);
+//     correction = bitwise XOR of the per-chip data shares (tier 2),
+//     corrected by erasure once tier 1 localizes the failed chip.
+//   - RAIM: detection = per-DIMM RS check symbols (which also localize the
+//     failed DIMM); correction = XOR across the data DIMMs (the parity
+//     DIMM), corrected by erasure.
+//
+// Multi-ECC's multi-line shared correction is in multiecc.hpp (its
+// correction granularity is a group of lines, which does not fit the
+// per-line interface).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ecc/scheme.hpp"
+
+namespace eccsim::ecc {
+
+/// Outcome of a correction attempt.
+struct CodecResult {
+  bool ok = false;         ///< data is now error-free
+  bool detected = false;   ///< an error was observed before correction
+  unsigned corrected_chips = 0;  ///< distinct chips whose data was repaired
+};
+
+/// Per-line encode / detect / correct interface.
+class LineCodec {
+ public:
+  virtual ~LineCodec() = default;
+
+  virtual unsigned data_bytes() const = 0;
+  virtual unsigned detection_bytes() const = 0;
+  virtual unsigned correction_bytes() const = 0;
+  /// Number of chips a line is striped across (erasure granularity).
+  virtual unsigned chips() const = 0;
+
+  /// Computes the detection bits stored inline with the line.
+  virtual std::vector<std::uint8_t> detection_bits(
+      std::span<const std::uint8_t> data) const = 0;
+
+  /// Computes the correction bits (what ECC Parity XORs across channels).
+  virtual std::vector<std::uint8_t> correction_bits(
+      std::span<const std::uint8_t> data) const = 0;
+
+  /// True iff (data, det) is inconsistent, i.e. an error is detected.
+  virtual bool detect(std::span<const std::uint8_t> data,
+                      std::span<const std::uint8_t> det) const = 0;
+
+  /// Attempts to correct `data` in place using the stored detection bits
+  /// and the (reconstructed or materialized) correction bits.
+  /// `known_bad_chips` may carry erasure information (e.g. a chip already
+  /// recorded as failed); pass empty when the location is unknown.
+  virtual CodecResult correct(
+      std::span<std::uint8_t> data, std::span<const std::uint8_t> det,
+      std::span<const std::uint8_t> corr,
+      std::span<const unsigned> known_bad_chips = {}) const = 0;
+
+  /// Bytes of this line stored on chip `chip` (for fault injection).
+  /// Returns the byte offsets within the data line; detection/correction
+  /// bytes live on dedicated chips and are modeled separately.
+  virtual std::vector<unsigned> chip_data_offsets(unsigned chip) const = 0;
+};
+
+/// Builds the per-line codec for a scheme.  kMultiEcc is not constructible
+/// here (see multiecc.hpp); the +Parity variants use their base scheme's
+/// codec (ECC Parity does not change the underlying code, Sec. III).
+std::unique_ptr<LineCodec> make_codec(SchemeId id);
+
+}  // namespace eccsim::ecc

@@ -1,0 +1,203 @@
+#include "ecc/lotecc5_rs16.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gf/rs.hpp"
+
+namespace eccsim::ecc {
+
+namespace {
+
+/// Sec. VI-D codec: RS(10, 8) over GF(2^16) per 16-byte word, four words
+/// per 64B line, symbols interleaved across the four x16 chips.
+///
+/// Symbol placement within a word: symbols 2k and 2k+1 belong to chip k.
+/// In the data line's byte layout we keep LOT-ECC5's chip striping (chip k
+/// owns bytes [16k, 16k+16)), so word w's symbol 2k is chip k's bytes
+/// {4w, 4w+1} and symbol 2k+1 is bytes {4w+2, 4w+3}.
+class LotEcc5Rs16Codec final : public LineCodec {
+ public:
+  LotEcc5Rs16Codec() : code_(10, 8) {}
+
+  unsigned data_bytes() const override { return 64; }
+  // First check symbol per word, in the x8 ECC chip: 4 words x 2B = 8B.
+  unsigned detection_bytes() const override { return 8; }
+  // Second check symbol (8B) + per-chip intra-chip checksums (4 x 2B):
+  // same 16B / R = 0.25 as plain LOT-ECC5.
+  unsigned correction_bytes() const override { return 16; }
+  unsigned chips() const override { return 5; }
+
+  std::vector<std::uint8_t> detection_bits(
+      std::span<const std::uint8_t> data) const override {
+    require(data.size() == 64);
+    std::vector<std::uint8_t> det(8);
+    for (unsigned w = 0; w < 4; ++w) {
+      const auto checks = code_.parity(word_symbols(data, w));
+      // checks[1] is the first consecutive-root check symbol we expose for
+      // on-the-fly detection; checks[0] goes into the correction bits.
+      store16(det, w * 2, checks[1]);
+    }
+    return det;
+  }
+
+  std::vector<std::uint8_t> correction_bits(
+      std::span<const std::uint8_t> data) const override {
+    require(data.size() == 64);
+    std::vector<std::uint8_t> corr(16);
+    for (unsigned w = 0; w < 4; ++w) {
+      const auto checks = code_.parity(word_symbols(data, w));
+      store16(corr, w * 2, checks[0]);
+    }
+    for (unsigned c = 0; c < 4; ++c) {
+      store16(corr, 8 + c * 2, chip_checksum(data, c));
+    }
+    return corr;
+  }
+
+  bool detect(std::span<const std::uint8_t> data,
+              std::span<const std::uint8_t> det) const override {
+    require(data.size() == 64 && det.size() == 8);
+    for (unsigned w = 0; w < 4; ++w) {
+      // Inter-chip detection: recompute the exposed check symbol.  Unlike
+      // an intra-chip checksum, this catches a chip returning data from
+      // the wrong address (Sec. VI-D's address-decoder case).
+      const auto checks = code_.parity(word_symbols(data, w));
+      if (checks[1] != load16(det, w * 2)) return true;
+    }
+    return false;
+  }
+
+  CodecResult correct(std::span<std::uint8_t> data,
+                      std::span<const std::uint8_t> det,
+                      std::span<const std::uint8_t> corr,
+                      std::span<const unsigned> known_bad_chips)
+      const override {
+    require(data.size() == 64 && det.size() == 8 && corr.size() == 16);
+    CodecResult result;
+    result.detected = detect(data, det);
+
+    // Localize: intra-chip checksums (from the correction bits) name the
+    // failed chip; an explicit erasure hint is honored too.
+    std::vector<unsigned> bad_chips;
+    for (unsigned c = 0; c < 4; ++c) {
+      if (chip_checksum(data, c) != load16(corr, 8 + c * 2)) {
+        bad_chips.push_back(c);
+      }
+    }
+    for (unsigned c : known_bad_chips) {
+      if (c < 4 && std::find(bad_chips.begin(), bad_chips.end(), c) ==
+                       bad_chips.end()) {
+        bad_chips.push_back(c);
+      }
+    }
+    if (bad_chips.empty()) {
+      if (!result.detected) {
+        result.ok = true;
+        return result;
+      }
+      // Inter-chip detection fired but no chip self-reports: an address
+      // error pattern.  Try unknown-error decoding (1 symbol per word).
+      bad_chips.clear();
+    }
+    if (bad_chips.size() > 1) return result;  // beyond single-chip-kill
+
+    bool all_ok = true;
+    std::vector<bool> chip_fixed(4, false);
+    for (unsigned w = 0; w < 4; ++w) {
+      // Codeword layout: [check0 check1 | 8 data symbols].
+      std::vector<std::uint16_t> cw(10);
+      cw[0] = load16(corr, w * 2);
+      cw[1] = load16(det, w * 2);
+      const auto syms = word_symbols(data, w);
+      std::copy(syms.begin(), syms.end(), cw.begin() + 2);
+      std::vector<unsigned> erasures;
+      for (unsigned c : bad_chips) {
+        erasures.push_back(2 + 2 * c);      // the chip's two symbols
+        erasures.push_back(2 + 2 * c + 1);
+      }
+      const std::vector<std::uint16_t> before = cw;
+      const auto dec = code_.decode(cw, erasures);
+      if (!dec.ok) {
+        all_ok = false;
+        continue;
+      }
+      for (unsigned s = 0; s < 8; ++s) {
+        if (cw[2 + s] != before[2 + s]) chip_fixed[s / 2] = true;
+      }
+      write_word_symbols(data, w, std::span<const std::uint16_t>(
+                                      cw.data() + 2, 8));
+    }
+    if (!all_ok) return result;
+    // Verify end to end.
+    if (detect(data, det)) return result;
+    result.ok = true;
+    result.corrected_chips = static_cast<unsigned>(
+        std::count(chip_fixed.begin(), chip_fixed.end(), true));
+    return result;
+  }
+
+  std::vector<unsigned> chip_data_offsets(unsigned chip) const override {
+    std::vector<unsigned> offsets;
+    if (chip < 4) {
+      for (unsigned b = 0; b < 16; ++b) offsets.push_back(chip * 16 + b);
+    }
+    return offsets;
+  }
+
+ private:
+  static void require(bool cond) {
+    if (!cond) throw std::invalid_argument("LotEcc5Rs16Codec: bad span size");
+  }
+  static std::uint16_t load16(std::span<const std::uint8_t> v, unsigned off) {
+    return static_cast<std::uint16_t>(v[off] | (v[off + 1] << 8));
+  }
+  static void store16(std::span<std::uint8_t> v, unsigned off,
+                      std::uint16_t x) {
+    v[off] = static_cast<std::uint8_t>(x);
+    v[off + 1] = static_cast<std::uint8_t>(x >> 8);
+  }
+  /// Word w's eight 16-bit symbols; symbols 2k, 2k+1 come from chip k.
+  static std::vector<std::uint16_t> word_symbols(
+      std::span<const std::uint8_t> data, unsigned w) {
+    std::vector<std::uint16_t> syms(8);
+    for (unsigned c = 0; c < 4; ++c) {
+      const unsigned base = c * 16 + w * 4;
+      syms[2 * c] = load16(data, base);
+      syms[2 * c + 1] = load16(data, base + 2);
+    }
+    return syms;
+  }
+  static void write_word_symbols(std::span<std::uint8_t> data, unsigned w,
+                                 std::span<const std::uint16_t> syms) {
+    for (unsigned c = 0; c < 4; ++c) {
+      const unsigned base = c * 16 + w * 4;
+      store16(data, base, syms[2 * c]);
+      store16(data, base + 2, syms[2 * c + 1]);
+    }
+  }
+  /// Intra-chip checksum over chip c's 16 bytes: a polynomial evaluation
+  /// over GF(2^16).  Unlike a Fletcher/Adler sum this is GF(2)-LINEAR
+  /// (checksum(a^b) == checksum(a)^checksum(b)), which is mandatory here:
+  /// Sec. VI-D stores these checksums *via ECC parities*, so they must
+  /// XOR-combine across channels and support the Eq. 1 incremental update.
+  static std::uint16_t chip_checksum(std::span<const std::uint8_t> data,
+                                     unsigned c) {
+    std::uint16_t acc = 0;
+    for (unsigned i = 0; i < 16; i += 2) {
+      const std::uint16_t sym = load16(data, c * 16 + i);
+      acc = gf::GF65536::add(gf::GF65536::mul(acc, 0x1234), sym);
+    }
+    return acc;
+  }
+
+  gf::Rs16 code_;
+};
+
+}  // namespace
+
+std::unique_ptr<LineCodec> make_lotecc5_rs16_codec() {
+  return std::make_unique<LotEcc5Rs16Codec>();
+}
+
+}  // namespace eccsim::ecc

@@ -1,0 +1,35 @@
+// The modified LOT-ECC5 encoding of Sec. VI-D.
+//
+// Plain LOT-ECC detects with *intra-chip* checksums, so it cannot detect
+// address-decoder errors (a chip returning the right data for the wrong
+// row passes its own checksum).  Sec. VI-D fixes this for banks not yet
+// recorded faulty by replacing LOT-ECC's inter-device parity with a
+// Reed-Solomon code over GF(2^16):
+//
+//   - each word is eight 16-bit symbols interleaved evenly across the four
+//     x16 data chips (two symbols per chip per word);
+//   - the code computes two 16-bit check symbols per word;
+//   - the FIRST check symbol is stored in the x8 ECC chip of the rank, so
+//     inter-chip error detection happens on the fly with every read --
+//     this is what catches address errors;
+//   - the SECOND check symbol and the intra-chip checksums are stored via
+//     ECC parities (they are the correction bits);
+//   - correction localizes the failed chip with the intra-chip checksums
+//     and erasure-decodes with both check symbols (2 erasures = the two
+//     symbols a failed x16 chip contributes to each word).
+//
+// Capacity is unchanged from LOT-ECC5: detection 8B/line (12.5%),
+// correction 16B/line (R = 0.25), so Table III is unaffected.
+#pragma once
+
+#include <memory>
+
+#include "ecc/codec.hpp"
+
+namespace eccsim::ecc {
+
+/// Builds the Sec. VI-D codec.  Drop-in replacement for
+/// make_codec(kLotEcc5) wherever address-error detection matters.
+std::unique_ptr<LineCodec> make_lotecc5_rs16_codec();
+
+}  // namespace eccsim::ecc

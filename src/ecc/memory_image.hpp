@@ -1,0 +1,71 @@
+// Sparse byte-accurate memory image.
+//
+// The performance simulator moves no data, but the functional layers (the
+// codecs, the ECC Parity manager, the fault injector, the examples) operate
+// on real bytes.  The image is sparse: untouched lines read as zero, which
+// is also what a zero-initialized DRAM would return, so parities computed
+// over untouched regions are trivially consistent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace eccsim::ecc {
+
+class MemoryImage {
+ public:
+  explicit MemoryImage(unsigned line_bytes) : line_bytes_(line_bytes) {}
+
+  unsigned line_bytes() const { return line_bytes_; }
+
+  /// Read-only view; returns the shared zero line when untouched.
+  std::span<const std::uint8_t> read(std::uint64_t line_index) const {
+    const auto it = lines_.find(line_index);
+    if (it == lines_.end()) {
+      if (zero_.size() != line_bytes_) zero_.assign(line_bytes_, 0);
+      return zero_;
+    }
+    return it->second;
+  }
+
+  /// Mutable line, created zero-filled on first touch.
+  std::vector<std::uint8_t>& line(std::uint64_t line_index) {
+    auto& l = lines_[line_index];
+    if (l.empty()) l.assign(line_bytes_, 0);
+    return l;
+  }
+
+  void write(std::uint64_t line_index, std::span<const std::uint8_t> bytes) {
+    auto& l = line(line_index);
+    l.assign(bytes.begin(), bytes.end());
+    l.resize(line_bytes_, 0);
+  }
+
+  /// XORs `bytes` into the line (parity maintenance).
+  void xor_into(std::uint64_t line_index,
+                std::span<const std::uint8_t> bytes) {
+    auto& l = line(line_index);
+    const std::size_t n = std::min<std::size_t>(bytes.size(), l.size());
+    for (std::size_t i = 0; i < n; ++i) l[i] ^= bytes[i];
+  }
+
+  bool touched(std::uint64_t line_index) const {
+    return lines_.contains(line_index);
+  }
+  std::size_t touched_lines() const { return lines_.size(); }
+
+  /// Visits every touched line: fn(line_index, bytes).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [idx, bytes] : lines_) fn(idx, bytes);
+  }
+
+ private:
+  unsigned line_bytes_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> lines_;
+  mutable std::vector<std::uint8_t> zero_;
+};
+
+}  // namespace eccsim::ecc

@@ -1,0 +1,102 @@
+#include "ecc/multiecc.hpp"
+
+#include <stdexcept>
+
+#include "gf/gf.hpp"
+
+namespace eccsim::ecc {
+
+MultiEccGroupCodec::MultiEccGroupCodec(unsigned group_lines,
+                                       unsigned data_chips)
+    : group_lines_(group_lines),
+      data_chips_(data_chips),
+      share_bytes_(64 / data_chips) {
+  if (group_lines == 0 || 64 % data_chips != 0) {
+    throw std::invalid_argument("MultiEccGroupCodec: bad geometry");
+  }
+}
+
+std::vector<std::uint8_t> MultiEccGroupCodec::detection_bits(
+    std::span<const std::uint8_t> line) const {
+  if (line.size() != 64) {
+    throw std::invalid_argument("MultiEccGroupCodec: line must be 64B");
+  }
+  std::vector<std::uint8_t> det(data_chips_);
+  for (unsigned c = 0; c < data_chips_; ++c) {
+    std::uint8_t acc = 0;
+    for (unsigned b = 0; b < share_bytes_; ++b) {
+      acc = gf::GF256::add(gf::GF256::mul(acc, 3),
+                           line[c * share_bytes_ + b]);
+    }
+    det[c] = acc;
+  }
+  return det;
+}
+
+std::vector<unsigned> MultiEccGroupCodec::locate(
+    std::span<const std::uint8_t> line,
+    std::span<const std::uint8_t> det) const {
+  const auto expect = detection_bits(line);
+  std::vector<unsigned> bad;
+  for (unsigned c = 0; c < data_chips_; ++c) {
+    if (expect[c] != det[c]) bad.push_back(c);
+  }
+  return bad;
+}
+
+bool MultiEccGroupCodec::detect(std::span<const std::uint8_t> line,
+                                std::span<const std::uint8_t> det) const {
+  return !locate(line, det).empty();
+}
+
+std::vector<std::uint8_t> MultiEccGroupCodec::correction_line(
+    std::span<const std::vector<std::uint8_t>> group) const {
+  std::vector<std::uint8_t> corr(64, 0);
+  for (const auto& line : group) {
+    if (line.size() != 64) {
+      throw std::invalid_argument("MultiEccGroupCodec: member must be 64B");
+    }
+    for (unsigned b = 0; b < 64; ++b) corr[b] ^= line[b];
+  }
+  return corr;
+}
+
+void MultiEccGroupCodec::update_correction_line(
+    std::span<std::uint8_t> corr, std::span<const std::uint8_t> old_line,
+    std::span<const std::uint8_t> new_line) const {
+  if (corr.size() != 64 || old_line.size() != 64 || new_line.size() != 64) {
+    throw std::invalid_argument("MultiEccGroupCodec: spans must be 64B");
+  }
+  for (unsigned b = 0; b < 64; ++b) corr[b] ^= old_line[b] ^ new_line[b];
+}
+
+bool MultiEccGroupCodec::correct_member(
+    std::span<std::vector<std::uint8_t>> group,
+    std::span<const std::vector<std::uint8_t>> dets,
+    std::span<const std::uint8_t> corr, unsigned bad_index,
+    unsigned bad_chip) const {
+  if (bad_index >= group.size()) {
+    throw std::out_of_range("MultiEccGroupCodec: bad_index");
+  }
+  // All other members must currently pass tier 1; otherwise the XOR would
+  // fold their corruption into the repair.
+  for (unsigned i = 0; i < group.size(); ++i) {
+    if (i == bad_index) continue;
+    if (detect(group[i], dets[i])) return false;
+  }
+  std::vector<std::uint8_t> fixed(corr.begin(), corr.end());
+  for (unsigned i = 0; i < group.size(); ++i) {
+    if (i == bad_index) continue;
+    for (unsigned b = 0; b < 64; ++b) fixed[b] ^= group[i][b];
+  }
+  // Only splice in the failed chip's share; the rest of the line is
+  // trusted (tier 1 passed for those chips).
+  for (unsigned b = 0; b < share_bytes_; ++b) {
+    group[bad_index][bad_chip * share_bytes_ + b] =
+        fixed[bad_chip * share_bytes_ + b];
+  }
+  // Re-verify tier 1 for the repaired chip.
+  return locate(group[bad_index], dets[bad_index]).empty();
+}
+
+}  // namespace eccsim::ecc

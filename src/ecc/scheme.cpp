@@ -1,0 +1,260 @@
+#include "ecc/scheme.hpp"
+
+#include <stdexcept>
+
+namespace eccsim::ecc {
+
+std::string to_string(SchemeId id) {
+  switch (id) {
+    case SchemeId::kChipkill36: return "chipkill36";
+    case SchemeId::kChipkill18: return "chipkill18";
+    case SchemeId::kLotEcc5: return "lotecc5";
+    case SchemeId::kLotEcc9: return "lotecc9";
+    case SchemeId::kMultiEcc: return "multiecc";
+    case SchemeId::kRaim: return "raim";
+    case SchemeId::kLotEcc5Parity: return "lotecc5+parity";
+    case SchemeId::kRaimParity: return "raim+parity";
+  }
+  return "unknown";
+}
+
+double SchemeDesc::capacity_overhead() const {
+  if (uses_ecc_parity) {
+    // Sec. III-E: detection bits per channel plus parity lines shared by
+    // N-1 channels; the (1 + 12.5%) factor protects the parity lines with
+    // detection bits of their own.
+    return detection_overhead +
+           (1.0 + detection_overhead) * correction_ratio /
+               static_cast<double>(channels - 1);
+  }
+  if (maint == MaintTraffic::kNone && id != SchemeId::kRaim) {
+    // Inline symbol codes (commercial chipkill): check symbols ride in the
+    // dedicated ECC chips; no separate protection is needed.
+    return detection_overhead + correction_ratio;
+  }
+  // Tiered schemes (LOT-ECC, Multi-ECC) and RAIM: stored correction bits
+  // carry their own protection.
+  return detection_overhead +
+         correction_ratio * (1.0 + correction_protection);
+}
+
+double SchemeDesc::capacity_overhead_eol(double faulty_fraction) const {
+  if (!uses_ecc_parity) return capacity_overhead();
+  // Faulty bank pairs store actual correction bits at twice the bits of
+  // their parity share (Sec. III-B): the marginal cost per faulty byte is
+  // 2R(1+d) instead of R(1+d)/(N-1).
+  const double parity_share = (1.0 + detection_overhead) * correction_ratio /
+                              static_cast<double>(channels - 1);
+  const double materialized = 2.0 * (1.0 + detection_overhead) *
+                              correction_ratio;
+  return detection_overhead + (1.0 - faulty_fraction) * parity_share +
+         faulty_fraction * materialized;
+}
+
+dram::MemSystemConfig SchemeDesc::mem_config() const {
+  dram::MemSystemConfig cfg;
+  cfg.name = name;
+  cfg.channels = channels;
+  cfg.ranks_per_channel = ranks_per_channel;
+  cfg.chips_per_rank = chips_per_rank;
+  cfg.data_chips_per_rank = data_chips_per_rank;
+  cfg.line_bytes = line_bytes;
+  if (mixed_rank) {
+    // LOT-ECC5 rank: 4 x16 2Gb chips plus one x8 with half the capacity and
+    // I/O width (Sec. IV-A).  The channel model charges per-chip energy
+    // uniformly, so we blend: the x8 chip costs roughly half an x16 in
+    // burst energy and somewhat less in background; we model the rank as
+    // 4 x16 chips plus 0.55 x16-equivalents, rounded into the per-chip
+    // weight by scaling the device's currents.
+    cfg.device = dram::micron_2gb(dram::DeviceWidth::kX16);
+    cfg.chips_per_rank = 5;
+    const double equivalent_chips = 4.0 + 0.55;
+    const double scale = equivalent_chips / 5.0;
+    cfg.device.currents.idd0 *= scale;
+    cfg.device.currents.idd2p *= scale;
+    cfg.device.currents.idd2n *= scale;
+    cfg.device.currents.idd3n *= scale;
+    cfg.device.currents.idd4r *= scale;
+    cfg.device.currents.idd4w *= scale;
+    cfg.device.currents.idd5b *= scale;
+    dram::rederive_energy(cfg.device);
+  } else {
+    cfg.device = dram::micron_2gb(width, speed_factor);
+  }
+  if (mixed_rank && speed_factor != 1.0) {
+    // Mixed ranks keep the blended-current model; apply the speed bin's
+    // latency/current scaling on top of it.
+    auto scale = [&](unsigned v) {
+      return static_cast<unsigned>(static_cast<double>(v) / speed_factor);
+    };
+    cfg.device.timing.tRCD = scale(cfg.device.timing.tRCD);
+    cfg.device.timing.tCL = scale(cfg.device.timing.tCL);
+    cfg.device.timing.tRP = scale(cfg.device.timing.tRP);
+    const double cur = 1.0 + 0.3 * (speed_factor - 1.0);
+    cfg.device.currents.idd0 *= cur;
+    cfg.device.currents.idd2n *= cur;
+    cfg.device.currents.idd3n *= cur;
+    cfg.device.currents.idd4r *= cur;
+    cfg.device.currents.idd4w *= cur;
+    dram::rederive_energy(cfg.device);
+  }
+  return cfg;
+}
+
+namespace {
+
+SchemeDesc base_desc(SchemeId id) {
+  SchemeDesc d;
+  d.id = id;
+  d.name = to_string(id);
+  switch (id) {
+    case SchemeId::kChipkill36:
+      // 36 x4 chips, 128B lines; 4 check symbols per word: 2 detect +
+      // 2 correct (Sec. II), i.e. 6.25% + 6.25% = 12.5% total.
+      d.chips_per_rank = 36;
+      d.data_chips_per_rank = 32;
+      d.width = dram::DeviceWidth::kX4;
+      d.line_bytes = 128;
+      d.detection_overhead = 0.0625;
+      d.correction_ratio = 0.0625;
+      d.maint = MaintTraffic::kNone;
+      break;
+    case SchemeId::kChipkill18:
+      // 18 x4 chips, 64B lines; 2 check symbols per word do double duty
+      // (slightly weaker detection, Sec. IV-A).  All 12.5% is detection-
+      // class storage; there are no separable correction bits.
+      d.chips_per_rank = 18;
+      d.data_chips_per_rank = 16;
+      d.width = dram::DeviceWidth::kX4;
+      d.line_bytes = 64;
+      d.detection_overhead = 0.125;
+      d.correction_ratio = 0.0;
+      d.maint = MaintTraffic::kNone;
+      break;
+    case SchemeId::kLotEcc5:
+    case SchemeId::kLotEcc5Parity:
+      // 4 x16 + 1 x8 per rank; tier-1 checksums in the x8 chip (12.5%
+      // detection); tier-2: one 72B line protects four 72B data lines
+      // (Sec. II footnote), i.e. correction bits 64B/4 lines = 25% with
+      // 12.5% self-protection -> 40.6% total.
+      d.chips_per_rank = 5;
+      d.data_chips_per_rank = 4;
+      d.width = dram::DeviceWidth::kX16;
+      d.mixed_rank = true;
+      d.line_bytes = 64;
+      d.detection_overhead = 0.125;
+      d.correction_ratio = 0.25;
+      d.maint = id == SchemeId::kLotEcc5 ? MaintTraffic::kWriteOnEvict
+                                         : MaintTraffic::kReadWriteOnEvict;
+      d.ecc_line_coverage = 4;  // parity variant overrides after sizing
+      d.uses_ecc_parity = id == SchemeId::kLotEcc5Parity;
+      break;
+    case SchemeId::kLotEcc9:
+      // 9 x8 chips; tier-2: one 72B line per eight data lines -> 12.5%
+      // correction ratio, 26.5% total.
+      d.chips_per_rank = 9;
+      d.data_chips_per_rank = 8;
+      d.width = dram::DeviceWidth::kX8;
+      d.line_bytes = 64;
+      d.detection_overhead = 0.125;
+      d.correction_ratio = 0.125;
+      d.maint = MaintTraffic::kWriteOnEvict;
+      d.ecc_line_coverage = 8;
+      break;
+    case SchemeId::kMultiEcc:
+      // 9 x8 chips; per-line checksums detect (12.5%); one shared
+      // correction line per 256 data lines (~0.4%) -> 12.9% total.
+      d.chips_per_rank = 9;
+      d.data_chips_per_rank = 8;
+      d.width = dram::DeviceWidth::kX8;
+      d.line_bytes = 64;
+      d.detection_overhead = 0.125;
+      d.correction_ratio = 1.0 / 256.0;
+      d.maint = MaintTraffic::kReadWriteOnEvict;
+      // Multi-line correction: one check line covers 256 data lines; the
+      // XOR-compacted cacheline usefully captures a row's worth (64 lines)
+      // of spatially-local writes [13].
+      d.ecc_line_coverage = 64;
+      break;
+    case SchemeId::kRaim:
+      // 45 x4 chips across five DIMMs; 13/32 = 40.6% overhead: the parity
+      // DIMM (9 chips, 28.125%) corrects, 4 chips (12.5%) detect.
+      d.chips_per_rank = 45;
+      d.data_chips_per_rank = 32;
+      d.width = dram::DeviceWidth::kX4;
+      d.line_bytes = 128;
+      d.detection_overhead = 0.125;
+      d.correction_ratio = 0.28125;
+      d.correction_protection = 0.0;  // 13/32 already accounts for all chips
+      d.maint = MaintTraffic::kNone;
+      break;
+    case SchemeId::kRaimParity:
+      // 18 x4 chips (two 9-chip DIMMs) per rank, 64B lines.  Losing one
+      // DIMM loses half the line, so the correction information is half a
+      // line: R = 0.5 (this reproduces Table III's 18.8% / 26.6%).
+      d.chips_per_rank = 18;
+      d.data_chips_per_rank = 16;
+      d.width = dram::DeviceWidth::kX4;
+      d.line_bytes = 64;
+      d.detection_overhead = 0.125;
+      d.correction_ratio = 0.5;
+      d.maint = MaintTraffic::kReadWriteOnEvict;
+      d.uses_ecc_parity = true;
+      break;
+  }
+  return d;
+}
+
+}  // namespace
+
+SchemeDesc make_scheme(SchemeId id, SystemScale scale) {
+  SchemeDesc d = base_desc(id);
+  const bool quad = scale == SystemScale::kQuadEquivalent;
+  switch (id) {
+    case SchemeId::kChipkill36:
+      d.channels = quad ? 4 : 2;
+      d.ranks_per_channel = 1;
+      break;
+    case SchemeId::kChipkill18:
+      d.channels = quad ? 8 : 4;
+      d.ranks_per_channel = 1;
+      break;
+    case SchemeId::kLotEcc5:
+    case SchemeId::kLotEcc5Parity:
+      d.channels = quad ? 8 : 4;
+      d.ranks_per_channel = 4;
+      break;
+    case SchemeId::kLotEcc9:
+    case SchemeId::kMultiEcc:
+      d.channels = quad ? 8 : 4;
+      d.ranks_per_channel = 2;
+      break;
+    case SchemeId::kRaim:
+      d.channels = quad ? 4 : 2;
+      d.ranks_per_channel = 1;
+      break;
+    case SchemeId::kRaimParity:
+      d.channels = quad ? 10 : 5;
+      d.ranks_per_channel = 1;
+      break;
+  }
+  if (d.uses_ecc_parity) {
+    // One XOR cacheline covers the same four adjacent lines in N-1
+    // adjacent physical pages (Sec. IV-C).
+    d.ecc_line_coverage = 4 * (d.channels - 1);
+  }
+  return d;
+}
+
+std::vector<SchemeId> all_schemes() {
+  return {SchemeId::kChipkill36, SchemeId::kChipkill18, SchemeId::kLotEcc5,
+          SchemeId::kLotEcc9,    SchemeId::kMultiEcc,   SchemeId::kRaim,
+          SchemeId::kLotEcc5Parity, SchemeId::kRaimParity};
+}
+
+std::vector<SchemeId> chipkill_family() {
+  return {SchemeId::kChipkill36, SchemeId::kChipkill18, SchemeId::kLotEcc5,
+          SchemeId::kLotEcc9, SchemeId::kMultiEcc, SchemeId::kLotEcc5Parity};
+}
+
+}  // namespace eccsim::ecc

@@ -1,0 +1,131 @@
+// Memory error-resilience scheme descriptors.
+//
+// A SchemeDesc captures everything the system simulator and the capacity
+// model need to know about one of the paper's evaluated ECC implementations
+// (Table II):
+//
+//   - rank organization (chip count, widths, line size),
+//   - system sizing for the "dual-channel-equivalent" and "quad-channel-
+//     equivalent" comparisons (equal physical capacity and I/O pin count),
+//   - capacity-overhead decomposition into detection and correction bits
+//     (Fig. 1), and the correction ratio R used by ECC Parity's overhead
+//     formula (Sec. III-E),
+//   - the ECC-maintenance traffic model: whether writes require updates to
+//     separate ECC lines, how many data lines one cached ECC/XOR line
+//     covers, and what an eviction costs (Sec. IV-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/ddr3_params.hpp"
+#include "dram/memory_system.hpp"
+
+namespace eccsim::ecc {
+
+/// The eight evaluated schemes (Table II).
+enum class SchemeId {
+  kChipkill36,     ///< 36-device commercial chipkill correct
+  kChipkill18,     ///< 18-device commercial chipkill correct
+  kLotEcc5,        ///< LOT-ECC, 5 chips per rank (4 x16 + 1 x8)
+  kLotEcc9,        ///< LOT-ECC, 9 chips per rank (9 x8)
+  kMultiEcc,       ///< Multi-ECC
+  kRaim,           ///< IBM RAIM DIMM-kill correct
+  kLotEcc5Parity,  ///< LOT-ECC5 + ECC Parity (the paper's proposal)
+  kRaimParity,     ///< RAIM + ECC Parity
+};
+
+std::string to_string(SchemeId id);
+
+/// System scale for the equal-pins / equal-capacity comparisons.
+enum class SystemScale {
+  kDualEquivalent,  ///< 288 pins (360 for the RAIM family)
+  kQuadEquivalent,  ///< 576 pins (720 for the RAIM family)
+};
+
+/// How a scheme maintains its ECC bits on application writes (Sec. IV-C).
+enum class MaintTraffic {
+  kNone,              ///< ECC is inline with the data burst (chipkill36/18)
+  kWriteOnEvict,      ///< cached ECC line; dirty eviction costs one write
+                      ///< (LOT-ECC tier-2 lines)
+  kReadWriteOnEvict,  ///< cached XOR line; eviction is a read-modify-write
+                      ///< of the parity/ECC line (Multi-ECC, ECC Parity)
+};
+
+/// Full description of one scheme at one system scale.
+struct SchemeDesc {
+  SchemeId id = SchemeId::kChipkill36;
+  std::string name;
+
+  // --- rank organization -------------------------------------------------
+  std::uint32_t chips_per_rank = 36;
+  std::uint32_t data_chips_per_rank = 32;
+  dram::DeviceWidth width = dram::DeviceWidth::kX4;
+  std::uint32_t line_bytes = 128;
+  /// True for LOT-ECC5's mixed rank (4 x16 data + 1 half-capacity x8 ECC).
+  bool mixed_rank = false;
+
+  // --- system sizing ------------------------------------------------------
+  std::uint32_t channels = 4;
+  std::uint32_t ranks_per_channel = 1;
+
+  // --- capacity overheads (fractions of data bits) ------------------------
+  /// ECC detection bits stored per channel (always in memory, Sec. III).
+  double detection_overhead = 0.125;
+  /// Correction bits proper, before protecting them with their own ECC.
+  /// This is the R in the parity-overhead formula (1+12.5%)*R/(N-1).
+  double correction_ratio = 0.0625;
+  /// Overhead of protecting the stored correction bits themselves; the
+  /// paper uses the underlying code's 12.5% for the tiered schemes.
+  double correction_protection = 0.125;
+
+  /// True if this scheme stores ECC parities instead of correction bits.
+  bool uses_ecc_parity = false;
+
+  /// DRAM speed-bin multiplier (Sec. V-D: a ~16% faster bin absorbs the
+  /// parity-update bandwidth overhead for ~5% more energy).  1.0 = the
+  /// standard DDR3-2000 part.
+  double speed_factor = 1.0;
+
+  // --- maintenance traffic model -------------------------------------------
+  MaintTraffic maint = MaintTraffic::kNone;
+  /// Data lines covered by one cached ECC/XOR line.  For ECC Parity this is
+  /// 4 * (channels - 1): the same group of four adjacent lines in N-1
+  /// adjacent physical pages (Sec. IV-C).
+  std::uint32_t ecc_line_coverage = 0;
+
+  // --- derived quantities --------------------------------------------------
+  /// Static capacity overhead stored in memory.  For parity schemes:
+  /// detection + (1 + detection) * R / (N-1).  For baselines:
+  /// detection + R * (1 + correction_protection)  [tiered schemes]
+  /// or detection + R                              [inline symbol codes].
+  double capacity_overhead() const;
+  /// Capacity overhead after `faulty_fraction` of memory has had its
+  /// correction bits materialized at 2x the parity allocation (Sec. III-B).
+  double capacity_overhead_eol(double faulty_fraction) const;
+
+  /// Memory-system configuration for the DRAM simulator.
+  dram::MemSystemConfig mem_config() const;
+
+  /// Total physical memory I/O pins (Table II's last column).
+  std::uint32_t io_pins() const {
+    // The LOT-ECC5 mixed rank is 4*16 + 8 = 72 bits wide.
+    const std::uint32_t rank_bits =
+        mixed_rank ? 72
+                   : chips_per_rank * static_cast<std::uint32_t>(width);
+    return channels * rank_bits;
+  }
+};
+
+/// Builds the descriptor for a scheme at a given scale (Table II rows).
+SchemeDesc make_scheme(SchemeId id, SystemScale scale);
+
+/// All schemes in Table II order.
+std::vector<SchemeId> all_schemes();
+
+/// The baselines each proposal is compared against in Figs. 10-17.
+/// LOT-ECC5+Parity is compared to the chipkill family; RAIM+Parity to RAIM.
+std::vector<SchemeId> chipkill_family();
+
+}  // namespace eccsim::ecc

@@ -1,0 +1,137 @@
+#include "eccparity/layout.hpp"
+
+#include <stdexcept>
+
+namespace eccsim::eccparity {
+
+ParityLayout::ParityLayout(const dram::MemGeometry& geom, unsigned corr_bytes)
+    : geom_(geom), map_(geom), corr_bytes_(corr_bytes) {
+  if (geom_.channels < 2) {
+    throw std::invalid_argument("ParityLayout: needs >= 2 channels");
+  }
+  if (corr_bytes_ == 0 || corr_bytes_ > geom_.line_bytes) {
+    throw std::invalid_argument("ParityLayout: bad correction size");
+  }
+  stripes_ = geom_.total_pages() / geom_.channels;
+  const double r =
+      static_cast<double>(corr_bytes_) / static_cast<double>(geom_.line_bytes);
+  const double frac = 1.125 * r / static_cast<double>(geom_.channels - 1);
+  reserved_rows_ = static_cast<std::uint64_t>(
+      static_cast<double>(geom_.rows_per_bank) * frac) + 1;
+}
+
+ParityLayout::Loc ParityLayout::locate(std::uint64_t line_index) const {
+  const std::uint32_t lpr = geom_.lines_per_row();
+  Loc loc;
+  loc.slot = static_cast<std::uint32_t>(line_index % lpr);
+  const std::uint64_t page = line_index / lpr;
+  loc.channel = static_cast<std::uint32_t>(page % geom_.channels);
+  loc.stripe = page / geom_.channels;
+  return loc;
+}
+
+std::uint64_t ParityLayout::line_of(std::uint32_t channel,
+                                    std::uint64_t stripe,
+                                    std::uint32_t slot) const {
+  const std::uint64_t page = stripe * geom_.channels + channel;
+  return page * geom_.lines_per_row() + slot;
+}
+
+GroupId ParityLayout::group_of(std::uint64_t line_index) const {
+  const Loc loc = locate(line_index);
+  const std::uint32_t n = geom_.channels;
+  GroupId id;
+  id.slot = loc.slot;
+  if (loc.channel != loc.stripe % n) {
+    id.leftover = false;
+    id.index = loc.stripe;
+  } else {
+    id.leftover = true;
+    id.index = loc.stripe / (n - 1);
+  }
+  return id;
+}
+
+std::vector<Member> ParityLayout::members(const GroupId& id) const {
+  const std::uint32_t n = geom_.channels;
+  std::vector<Member> out;
+  if (!id.leftover) {
+    const std::uint64_t p = id.index;
+    const std::uint32_t c_par = static_cast<std::uint32_t>(p % n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (c == c_par) continue;
+      out.push_back(Member{c, line_of(c, p, id.slot)});
+    }
+  } else {
+    const std::uint64_t first = id.index * (n - 1);
+    for (std::uint64_t p = first;
+         p < first + (n - 1) && p < stripes_; ++p) {
+      const auto c = static_cast<std::uint32_t>(p % n);
+      out.push_back(Member{c, line_of(c, p, id.slot)});
+    }
+  }
+  return out;
+}
+
+std::uint32_t ParityLayout::parity_channel(const GroupId& id) const {
+  const std::uint32_t n = geom_.channels;
+  if (!id.leftover) {
+    return static_cast<std::uint32_t>(id.index % n);
+  }
+  // The leftover block covers stripes [g(N-1), (g+1)(N-1)), whose channels
+  // are the N-1 consecutive residues starting at g(N-1) mod N; the missing
+  // residue is (g(N-1) + N - 1) mod N.
+  return static_cast<std::uint32_t>((id.index * (n - 1) + n - 1) % n);
+}
+
+dram::DramAddress ParityLayout::parity_line_address(const GroupId& id) const {
+  // Place the parity in the reserved (top) rows of the same bank number the
+  // covered data occupies (Fig. 4), in the parity channel.  Within the
+  // reserved region, spread parities of different data rows round-robin.
+  const std::uint64_t p =
+      id.leftover ? id.index * (geom_.channels - 1) : id.index;
+  dram::DramAddress a;
+  a.channel = parity_channel(id);
+  a.bank = static_cast<std::uint32_t>(p % geom_.banks_per_rank);
+  const std::uint64_t rb = p / geom_.banks_per_rank;
+  a.rank = static_cast<std::uint32_t>(rb % geom_.ranks_per_channel);
+  const std::uint64_t data_row = rb / geom_.ranks_per_channel;
+  a.row = geom_.rows_per_bank - reserved_rows_ +
+          (data_row % reserved_rows_);
+  a.col = id.slot % geom_.lines_per_row();
+  return a;
+}
+
+std::uint64_t ParityLayout::xor_cacheline_key(
+    std::uint64_t line_index) const {
+  const Loc loc = locate(line_index);
+  // One XOR cacheline per (stripe, slot/4); tag the namespace in the top
+  // bits so keys never collide with data or ECC line identifiers.
+  return (1ULL << 62) | (loc.stripe * geom_.lines_per_row() / 4 +
+                         loc.slot / 4);
+}
+
+std::vector<std::uint64_t> ParityLayout::co_retired_pages(
+    std::uint64_t line_index) const {
+  const Loc loc = locate(line_index);
+  const std::uint32_t n = geom_.channels;
+  std::vector<std::uint64_t> pages;
+  // Pages sharing primary groups with this page: the other pages of the
+  // stripe.
+  for (std::uint32_t c = 0; c < n; ++c) {
+    pages.push_back(loc.stripe * n + c);
+  }
+  // Pages sharing its leftover group (if this page is a leftover for any
+  // slot -- the leftover role is per-line but constant across the page).
+  if (loc.channel == loc.stripe % n) {
+    const std::uint64_t g = loc.stripe / (n - 1);
+    const std::uint64_t first = g * (n - 1);
+    for (std::uint64_t p = first; p < first + (n - 1) && p < stripes_; ++p) {
+      if (p == loc.stripe) continue;
+      pages.push_back(p * n + p % n);
+    }
+  }
+  return pages;
+}
+
+}  // namespace eccsim::eccparity

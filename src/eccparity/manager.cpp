@@ -1,0 +1,329 @@
+#include "eccparity/manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eccsim::eccparity {
+
+EccParityManager::EccParityManager(const dram::MemGeometry& geom,
+                                   std::unique_ptr<ecc::LineCodec> codec,
+                                   unsigned error_threshold)
+    : geom_(geom),
+      map_(geom),
+      layout_(geom, codec->correction_bytes()),
+      codec_(std::move(codec)),
+      health_(error_threshold),
+      data_(geom.line_bytes) {
+  if (codec_->data_bytes() != geom_.line_bytes) {
+    throw std::invalid_argument(
+        "EccParityManager: codec line size != geometry line size");
+  }
+}
+
+std::vector<std::uint8_t>& EccParityManager::parity_slot(const GroupId& id) {
+  auto& p = parities_[id.key()];
+  if (p.empty()) p.assign(codec_->correction_bytes(), 0);
+  return p;
+}
+
+std::vector<std::uint8_t> EccParityManager::xor_members(
+    const GroupId& id, std::uint64_t exclude_line) {
+  std::vector<std::uint8_t> acc(codec_->correction_bytes(), 0);
+  for (const Member& m : layout_.members(id)) {
+    if (m.line_index == exclude_line) continue;
+    const dram::DramAddress addr = map_.decode(m.line_index);
+    if (health_.is_faulty(addr)) continue;  // excluded after recomputation
+    const auto bytes = data_.read(m.line_index);
+    // Members must be error-free to contribute (Sec. III-A); a corrupt
+    // member makes the reconstruction unusable.
+    const auto det_it = detection_.find(m.line_index);
+    const std::vector<std::uint8_t> det =
+        det_it != detection_.end()
+            ? det_it->second
+            : codec_->detection_bits(bytes);
+    if (codec_->detect(bytes, det)) return {};
+    const auto corr = codec_->correction_bits(bytes);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= corr[i];
+  }
+  return acc;
+}
+
+void EccParityManager::write_line(std::uint64_t line_index,
+                                  std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != geom_.line_bytes) {
+    throw std::invalid_argument("write_line: wrong line size");
+  }
+  ++stats_.writes;
+  const dram::DramAddress addr = map_.decode(line_index);
+
+  // Step A2: bank health lookup.
+  if (health_.is_faulty(addr)) {
+    // Step D: store the line and its actual ECC correction bits.
+    data_.write(line_index, bytes);
+    detection_[line_index] = codec_->detection_bits(bytes);
+    materialized_[line_index] = codec_->correction_bits(bytes);
+    return;
+  }
+
+  // Step E needs ECC_old of the *correct* old value.  If the stored copy
+  // carries a detected error, run it through the read/correct path first
+  // so the parity is never updated with a corrupted ECC_old.
+  {
+    const auto stored = data_.read(line_index);
+    const auto det_it = detection_.find(line_index);
+    const std::vector<std::uint8_t> det =
+        det_it != detection_.end() ? det_it->second
+                                   : codec_->detection_bits(stored);
+    if (codec_->detect(stored, det)) {
+      (void)read_line(line_index);
+      // The read may have marked the pair faulty; re-dispatch the write.
+      if (health_.is_faulty(addr)) {
+        data_.write(line_index, bytes);
+        detection_[line_index] = codec_->detection_bits(bytes);
+        materialized_[line_index] = codec_->correction_bits(bytes);
+        return;
+      }
+      // If the old value remained uncorrectable, Eq. 1 would fold a bogus
+      // ECC_old into the parity.  Rebuild the group parity directly from
+      // the surviving members plus the new value instead.
+      const auto after = data_.read(line_index);
+      const auto det_now = detection_[line_index].empty()
+                               ? codec_->detection_bits(after)
+                               : detection_[line_index];
+      if (codec_->detect(after, det_now)) {
+        const GroupId group = layout_.group_of(line_index);
+        auto rebuilt = xor_members(group, line_index);
+        const auto new_corr = codec_->correction_bits(bytes);
+        if (rebuilt.size() == new_corr.size()) {
+          for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+            rebuilt[i] ^= new_corr[i];
+          }
+          parities_[group.key()] = std::move(rebuilt);
+        }
+        data_.write(line_index, bytes);
+        detection_[line_index] = codec_->detection_bits(bytes);
+        return;
+      }
+    }
+  }
+
+  const auto old_corr = codec_->correction_bits(data_.read(line_index));
+  const auto new_corr = codec_->correction_bits(bytes);
+
+  // Eq. 1: ECCP_new = ECCP_old ^ ECC_old ^ ECC_new.
+  auto& parity = parity_slot(layout_.group_of(line_index));
+  for (std::size_t i = 0; i < parity.size(); ++i) {
+    parity[i] ^= old_corr[i] ^ new_corr[i];
+  }
+
+  data_.write(line_index, bytes);
+  detection_[line_index] = codec_->detection_bits(bytes);
+}
+
+ReadResult EccParityManager::read_line(std::uint64_t line_index) {
+  ++stats_.reads;
+  ReadResult result;
+  const dram::DramAddress addr = map_.decode(line_index);
+
+  const auto stored = data_.read(line_index);
+  result.data.assign(stored.begin(), stored.end());
+  const auto det_it = detection_.find(line_index);
+  const std::vector<std::uint8_t> det =
+      det_it != detection_.end() ? det_it->second
+                                 : codec_->detection_bits(stored);
+
+  // Error detection happens on the fly with every read (Sec. III).
+  if (!codec_->detect(result.data, det)) return result;
+
+  result.error_detected = true;
+  ++stats_.errors_detected;
+
+  std::vector<std::uint8_t> corr;
+  if (health_.is_faulty(addr)) {
+    // Step B: the pair is recorded faulty; its ECC line is in memory.
+    result.used_materialized_bits = true;
+    const auto it = materialized_.find(line_index);
+    corr = it != materialized_.end()
+               ? it->second
+               : std::vector<std::uint8_t>(codec_->correction_bytes(), 0);
+  } else {
+    // Step C: reconstruct the correction bits from the ECC parity and the
+    // healthy members of the group.
+    result.used_parity_reconstruction = true;
+    const GroupId group = layout_.group_of(line_index);
+    corr = parity_slot(group);
+    const auto others = xor_members(group, line_index);
+    if (others.size() != corr.size()) {
+      // Another member is also corrupt: reconstruction impossible.
+      result.uncorrectable = true;
+      ++stats_.uncorrectable;
+      return result;
+    }
+    for (std::size_t i = 0; i < corr.size(); ++i) corr[i] ^= others[i];
+  }
+
+  const ecc::CodecResult fixed = codec_->correct(result.data, det, corr);
+  if (!fixed.ok) {
+    result.uncorrectable = true;
+    ++stats_.uncorrectable;
+    return result;
+  }
+  result.corrected = true;
+  if (result.used_materialized_bits) ++stats_.corrected_via_materialized;
+  if (result.used_parity_reconstruction) ++stats_.corrected_via_parity;
+
+  // Write the corrected value back; the parity already reflects it (the
+  // fault changed stored bytes, not the parity's view of the line).
+  data_.write(line_index, result.data);
+  detection_[line_index] = codec_->detection_bits(result.data);
+
+  // Error bookkeeping: retire the page or mark the pair faulty (Sec. III-C).
+  result.action = health_.record_error(addr);
+  switch (result.action) {
+    case ErrorAction::kRetirePage:
+      retire_page_of(line_index);
+      break;
+    case ErrorAction::kMarkFaulty:
+      ++stats_.pairs_marked_faulty;
+      materialize_pair(BankHealthTable::pair_of(addr));
+      break;
+    case ErrorAction::kAlreadyFaulty:
+      break;
+  }
+  return result;
+}
+
+std::uint64_t EccParityManager::scrub() {
+  std::vector<std::uint64_t> touched;
+  touched.reserve(data_.touched_lines());
+  data_.for_each([&](std::uint64_t idx, const std::vector<std::uint8_t>&) {
+    touched.push_back(idx);
+  });
+  std::sort(touched.begin(), touched.end());
+  std::uint64_t errors = 0;
+  for (std::uint64_t idx : touched) {
+    const ReadResult r = read_line(idx);
+    if (r.error_detected) ++errors;
+  }
+  return errors;
+}
+
+void EccParityManager::corrupt_line(std::uint64_t line_index,
+                                    std::span<const std::uint8_t> xor_mask) {
+  // Snapshot the detection bits of the pre-fault value first: a real DRAM
+  // fault flips stored data but not the (previously written) ECC bits.
+  if (!detection_.contains(line_index)) {
+    detection_[line_index] =
+        codec_->detection_bits(data_.read(line_index));
+  }
+  data_.xor_into(line_index, xor_mask);
+}
+
+void EccParityManager::corrupt_chip_share(std::uint64_t line_index,
+                                          unsigned chip,
+                                          std::uint8_t xor_byte) {
+  std::vector<std::uint8_t> mask(geom_.line_bytes, 0);
+  for (unsigned off : codec_->chip_data_offsets(chip)) mask[off] = xor_byte;
+  corrupt_line(line_index, mask);
+}
+
+void EccParityManager::retire_page_of(std::uint64_t line_index) {
+  const std::uint64_t page = line_index / geom_.lines_per_row();
+  auto insert = [&](std::uint64_t p) {
+    if (retired_pages_.insert(p).second) ++stats_.pages_retired;
+  };
+  insert(page);
+  for (std::uint64_t p : layout_.co_retired_pages(line_index)) insert(p);
+}
+
+void EccParityManager::materialize_pair(const BankPairId& pair) {
+  // Pass 1: correct and materialize every touched line in the pair's banks.
+  std::vector<std::uint64_t> pair_lines;
+  data_.for_each([&](std::uint64_t idx, const std::vector<std::uint8_t>&) {
+    if (bank_in_pair(map_.decode(idx), pair)) pair_lines.push_back(idx);
+  });
+  std::sort(pair_lines.begin(), pair_lines.end());
+
+  std::unordered_set<std::uint64_t> groups_to_recompute;
+  for (std::uint64_t idx : pair_lines) {
+    auto bytes = data_.read(idx);
+    std::vector<std::uint8_t> line(bytes.begin(), bytes.end());
+    const auto det_it = detection_.find(idx);
+    std::vector<std::uint8_t> det = det_it != detection_.end()
+                                        ? det_it->second
+                                        : codec_->detection_bits(line);
+    if (codec_->detect(line, det)) {
+      // Reconstruct via the parity *before* the group is recomputed.
+      const GroupId group = layout_.group_of(idx);
+      std::vector<std::uint8_t> corr = parity_slot(group);
+      const auto others = xor_members(group, idx);
+      if (others.size() == corr.size()) {
+        for (std::size_t i = 0; i < corr.size(); ++i) corr[i] ^= others[i];
+        const ecc::CodecResult fixed = codec_->correct(line, det, corr);
+        if (fixed.ok) {
+          data_.write(idx, line);
+          detection_[idx] = codec_->detection_bits(line);
+        } else {
+          ++stats_.uncorrectable;
+        }
+      } else {
+        ++stats_.uncorrectable;
+      }
+    }
+    materialized_[idx] = codec_->correction_bits(data_.read(idx));
+    ++stats_.lines_materialized;
+    groups_to_recompute.insert(layout_.group_of(idx).key());
+  }
+
+  // Pass 2: recompute every parity group that had a member in these banks,
+  // excluding all faulty-bank members (Sec. III-B: "remove the content of
+  // the two banks from their construction").
+  for (std::uint64_t idx : pair_lines) {
+    const GroupId group = layout_.group_of(idx);
+    if (!groups_to_recompute.contains(group.key())) continue;
+    groups_to_recompute.erase(group.key());
+    std::vector<std::uint8_t> parity(codec_->correction_bytes(), 0);
+    for (const Member& m : layout_.members(group)) {
+      const dram::DramAddress maddr = map_.decode(m.line_index);
+      if (health_.is_faulty(maddr)) continue;
+      const auto corr = codec_->correction_bits(data_.read(m.line_index));
+      for (std::size_t i = 0; i < parity.size(); ++i) parity[i] ^= corr[i];
+    }
+    parities_[group.key()] = std::move(parity);
+    ++stats_.parity_groups_recomputed;
+  }
+}
+
+std::uint64_t EccParityManager::verify_parity_invariant() {
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t violations = 0;
+  std::vector<std::uint64_t> touched;
+  data_.for_each([&](std::uint64_t idx, const std::vector<std::uint8_t>&) {
+    touched.push_back(idx);
+  });
+  for (std::uint64_t idx : touched) {
+    const GroupId group = layout_.group_of(idx);
+    if (!seen.insert(group.key()).second) continue;
+    std::vector<std::uint8_t> expect(codec_->correction_bytes(), 0);
+    for (const Member& m : layout_.members(group)) {
+      if (health_.is_faulty(map_.decode(m.line_index))) continue;
+      const auto corr = codec_->correction_bits(data_.read(m.line_index));
+      for (std::size_t i = 0; i < expect.size(); ++i) expect[i] ^= corr[i];
+    }
+    const auto it = parities_.find(group.key());
+    const std::vector<std::uint8_t> stored =
+        it != parities_.end()
+            ? it->second
+            : std::vector<std::uint8_t>(codec_->correction_bytes(), 0);
+    if (stored != expect) ++violations;
+  }
+  return violations;
+}
+
+double EccParityManager::materialized_fraction() const {
+  if (data_.touched_lines() == 0) return 0.0;
+  return static_cast<double>(materialized_.size()) /
+         static_cast<double>(data_.touched_lines());
+}
+
+}  // namespace eccsim::eccparity

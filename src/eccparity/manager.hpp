@@ -1,0 +1,149 @@
+// The ECC Parity manager: a functional, byte-accurate implementation of the
+// paper's proposal (Sec. III) on top of any underlying per-line ECC codec.
+//
+// State held per memory system:
+//   - the data image (what the DRAMs store, including injected corruption),
+//   - per-line detection bits (stored inline in every channel),
+//   - per-group ECC parities for healthy regions (Sec. III-A),
+//   - materialized per-line ECC correction bits for banks recorded as
+//     faulty (Sec. III-B),
+//   - the bank-pair error counters / health table and the retired-page set
+//     (Sec. III-C).
+//
+// Operations mirror Fig. 6:
+//   write_line: bank-health lookup; faulty -> update the line's ECC
+//     correction bits (step D); healthy -> update the ECC parity with
+//     ECCP_new = ECCP_old ^ ECC_old ^ ECC_new (step E / Eq. 1).  If the old
+//     stored value carries a detected error, it is corrected first so a
+//     corrupted ECC_old never poisons the parity.
+//   read_line: check detection bits on the fly; on error, reconstruct the
+//     line's correction bits from its ECC parity and the healthy group
+//     members (step C) -- or read them directly if the bank is recorded
+//     faulty (step B) -- then correct, record the error (retire page or
+//     mark the bank pair faulty), and write back the corrected line.
+//   scrub: periodic sweep of every touched line through the read path
+//     (Sec. III-C / VI-C).
+//   Marking a pair faulty materializes the correction bits of every line in
+//   the pair's banks and recomputes every parity group touching those banks
+//   to exclude them (Sec. III-B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dram/address_map.hpp"
+#include "ecc/codec.hpp"
+#include "ecc/memory_image.hpp"
+#include "eccparity/health.hpp"
+#include "eccparity/layout.hpp"
+
+namespace eccsim::eccparity {
+
+/// Result of a read through the ECC Parity machinery.
+struct ReadResult {
+  std::vector<std::uint8_t> data;
+  bool error_detected = false;
+  bool corrected = false;
+  bool uncorrectable = false;
+  bool used_parity_reconstruction = false;  ///< step C was exercised
+  bool used_materialized_bits = false;      ///< step B was exercised
+  ErrorAction action = ErrorAction::kRetirePage;  ///< valid if detected
+};
+
+/// Counters for the mechanism's rare events.
+struct ManagerStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t errors_detected = 0;
+  std::uint64_t corrected_via_parity = 0;
+  std::uint64_t corrected_via_materialized = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t pages_retired = 0;
+  std::uint64_t pairs_marked_faulty = 0;
+  std::uint64_t lines_materialized = 0;
+  std::uint64_t parity_groups_recomputed = 0;
+};
+
+class EccParityManager {
+ public:
+  /// The manager owns nothing about timing; it is the functional spine the
+  /// examples, fault-injection tests, and scrub studies drive.
+  EccParityManager(const dram::MemGeometry& geom,
+                   std::unique_ptr<ecc::LineCodec> codec,
+                   unsigned error_threshold = 4);
+
+  const ParityLayout& layout() const { return layout_; }
+  const BankHealthTable& health() const { return health_; }
+  const ManagerStats& stats() const { return stats_; }
+  const dram::AddressMap& map() const { return map_; }
+
+  /// Application write (Fig. 6 right side).
+  void write_line(std::uint64_t line_index,
+                  std::span<const std::uint8_t> bytes);
+
+  /// Application read (Fig. 6 left side).
+  ReadResult read_line(std::uint64_t line_index);
+
+  /// Scrubs every line ever written (sparse sweep); returns the number of
+  /// errors found.
+  std::uint64_t scrub();
+
+  /// Fault injection: corrupts the stored bytes of a line *without*
+  /// updating detection bits or parities (exactly what a DRAM fault does).
+  void corrupt_line(std::uint64_t line_index,
+                    std::span<const std::uint8_t> xor_mask);
+  /// Corrupts the data belonging to one chip of the line's rank.
+  void corrupt_chip_share(std::uint64_t line_index, unsigned chip,
+                          std::uint8_t xor_byte = 0xA5);
+
+  bool page_retired(std::uint64_t page_index) const {
+    return retired_pages_.contains(page_index);
+  }
+  std::size_t retired_page_count() const { return retired_pages_.size(); }
+
+  /// Verifies the parity invariant for every group touching written lines:
+  /// stored parity == XOR of members' correction bits (healthy members
+  /// only; groups with materialized members must have been recomputed).
+  /// Returns the number of violated groups.
+  std::uint64_t verify_parity_invariant();
+
+  /// Fraction of (touched) lines whose correction bits are materialized.
+  double materialized_fraction() const;
+
+ private:
+  std::vector<std::uint8_t> correction_of(std::span<const std::uint8_t> data)
+      const {
+    return codec_->correction_bits(data);
+  }
+  std::vector<std::uint8_t>& parity_slot(const GroupId& id);
+  /// XOR of correction bits of all healthy members except `exclude_line`.
+  std::vector<std::uint8_t> xor_members(
+      const GroupId& id, std::uint64_t exclude_line);
+  void retire_page_of(std::uint64_t line_index);
+  void materialize_pair(const BankPairId& pair);
+  bool bank_in_pair(const dram::DramAddress& addr,
+                    const BankPairId& pair) const {
+    return addr.channel == pair.channel && addr.rank == pair.rank &&
+           addr.bank / 2 == pair.pair;
+  }
+
+  dram::MemGeometry geom_;
+  dram::AddressMap map_;
+  ParityLayout layout_;
+  std::unique_ptr<ecc::LineCodec> codec_;
+  BankHealthTable health_;
+
+  ecc::MemoryImage data_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> detection_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> parities_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> materialized_;
+  std::unordered_set<std::uint64_t> retired_pages_;
+
+  ManagerStats stats_;
+};
+
+}  // namespace eccsim::eccparity

@@ -1,0 +1,80 @@
+#include "faults/fault_model.hpp"
+
+namespace eccsim::faults {
+
+std::string to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kBit: return "bit";
+    case FaultType::kWord: return "word";
+    case FaultType::kColumn: return "column";
+    case FaultType::kRow: return "row";
+    case FaultType::kBank: return "bank";
+    case FaultType::kMultiBank: return "multi-bank";
+    case FaultType::kMultiRank: return "multi-rank";
+    case FaultType::kCount_: break;
+  }
+  return "?";
+}
+
+FitRates FitRates::scaled_to(double target_fit) const {
+  FitRates out = *this;
+  const double t = total();
+  if (t <= 0) return out;
+  const double s = target_fit / t;
+  for (double& f : out.fit) f *= s;
+  return out;
+}
+
+FitRates ddr3_vendor_average() {
+  FitRates r;
+  r[FaultType::kBit] = 33.05;
+  r[FaultType::kWord] = 1.45;
+  r[FaultType::kColumn] = 3.20;
+  r[FaultType::kRow] = 2.60;
+  r[FaultType::kBank] = 2.00;
+  r[FaultType::kMultiBank] = 0.80;
+  r[FaultType::kMultiRank] = 0.90;
+  // total: 44.0 FIT/chip, the cross-vendor DDR3 average in [21].
+  return r;
+}
+
+bool saturates_error_counter(FaultType t) {
+  switch (t) {
+    case FaultType::kBit:
+    case FaultType::kWord:
+    case FaultType::kRow:
+      return false;  // retired page-by-page before the counter saturates
+    case FaultType::kColumn:
+    case FaultType::kBank:
+    case FaultType::kMultiBank:
+    case FaultType::kMultiRank:
+      return true;
+    case FaultType::kCount_:
+      break;
+  }
+  return false;
+}
+
+unsigned banks_affected(FaultType t, unsigned banks_per_rank,
+                        unsigned ranks_per_channel) {
+  switch (t) {
+    case FaultType::kBit:
+    case FaultType::kWord:
+    case FaultType::kColumn:
+    case FaultType::kRow:
+    case FaultType::kBank:
+      return 1;
+    case FaultType::kMultiBank:
+      // Typically half the device's banks share the failed circuitry.
+      return banks_per_rank / 2;
+    case FaultType::kMultiRank:
+      // Shared external circuitry (e.g. data strobes): the chip position
+      // fails across every rank of the channel.
+      return banks_per_rank * ranks_per_channel;
+    case FaultType::kCount_:
+      break;
+  }
+  return 1;
+}
+
+}  // namespace eccsim::faults

@@ -1,0 +1,77 @@
+// DRAM device-level fault taxonomy and field failure rates.
+//
+// Fault types and rates follow the large-scale field studies the paper
+// builds on (Sridharan et al. [20][21]): DRAM devices exhibit single-bit,
+// word, column, row, bank, multi-bank, and multi-rank faults, with an
+// all-type average of ~44 FIT per DDR3 chip across vendors (Fig. 2 caption).
+// The per-type split below reproduces the qualitative structure reported in
+// those studies -- single-bit faults dominate, large device-level faults
+// are a small but reliability-critical minority -- normalized to the
+// 44 FIT/chip total.
+//
+// The ECC Parity mechanism reacts differently by type (Sec. III-C):
+// bit/word/row faults are absorbed by page retirement before the bank-pair
+// error counter saturates; column and larger faults keep producing errors
+// across retired pages, saturate the counter, and cause the pair (or, for
+// multi-bank/multi-rank faults, several pairs) to be marked faulty.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace eccsim::faults {
+
+enum class FaultType : std::uint8_t {
+  kBit = 0,
+  kWord,
+  kColumn,
+  kRow,
+  kBank,
+  kMultiBank,
+  kMultiRank,
+  kCount_,
+};
+
+inline constexpr std::size_t kFaultTypeCount =
+    static_cast<std::size_t>(FaultType::kCount_);
+
+std::string to_string(FaultType t);
+
+/// Per-type FIT rates (failures per 10^9 device-hours) for one DRAM chip.
+struct FitRates {
+  std::array<double, kFaultTypeCount> fit{};
+
+  double operator[](FaultType t) const {
+    return fit[static_cast<std::size_t>(t)];
+  }
+  double& operator[](FaultType t) {
+    return fit[static_cast<std::size_t>(t)];
+  }
+
+  double total() const {
+    double s = 0;
+    for (double f : fit) s += f;
+    return s;
+  }
+
+  /// Uniformly scales every rate so the total equals `target_fit`
+  /// (used for the Fig. 2 / Fig. 18 sweeps over 10..100 FIT/chip).
+  FitRates scaled_to(double target_fit) const;
+};
+
+/// The DDR3 vendor-average distribution (~44 FIT/chip, [21]).
+FitRates ddr3_vendor_average();
+
+/// Whether a fault type saturates the bank-pair error counter (column and
+/// larger) or is absorbed by page retirement (bit/word/row), Sec. III-C/E.
+bool saturates_error_counter(FaultType t);
+
+/// How many logical banks of the channel a fault of this type affects,
+/// given `banks_per_rank` and `ranks_per_channel`.  A bank-pair is marked
+/// faulty as a unit, so the affected-bank count is rounded up to pairs by
+/// the caller.
+unsigned banks_affected(FaultType t, unsigned banks_per_rank,
+                        unsigned ranks_per_channel);
+
+}  // namespace eccsim::faults

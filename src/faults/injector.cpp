@@ -1,0 +1,132 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+namespace eccsim::faults {
+
+namespace {
+
+/// Deterministic per-(event, line) corruption byte; never zero.
+std::uint8_t corruption_byte(const FaultEvent& e, std::uint64_t line) {
+  std::uint64_t h = line * 0x9e3779b97f4a7c15ULL +
+                    (static_cast<std::uint64_t>(e.channel) << 32) +
+                    (static_cast<std::uint64_t>(e.rank) << 16) + e.chip +
+                    static_cast<std::uint64_t>(e.type);
+  h ^= h >> 29;
+  const auto b = static_cast<std::uint8_t>(h);
+  return b == 0 ? 0x5A : b;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> FaultInjector::affected_lines(
+    const FaultEvent& e) const {
+  const dram::MemGeometry& geom = mgr_.map().geometry();
+  const dram::AddressMap& map = mgr_.map();
+  std::vector<std::uint64_t> lines;
+
+  // Helper: every line of one (channel, rank, bank), optionally filtered
+  // by row or column (line slot within the 4KB row).
+  auto collect_bank = [&](std::uint32_t bank, std::int64_t only_row,
+                          std::int64_t only_col, std::uint32_t rank) {
+    for (std::uint64_t row = 0; row < geom.rows_per_bank; ++row) {
+      if (only_row >= 0 && row != static_cast<std::uint64_t>(only_row)) {
+        continue;
+      }
+      for (std::uint32_t col = 0; col < geom.lines_per_row(); ++col) {
+        if (only_col >= 0 && col != static_cast<std::uint32_t>(only_col)) {
+          continue;
+        }
+        dram::DramAddress a;
+        a.channel = e.channel;
+        a.rank = rank;
+        a.bank = bank;
+        a.row = row;
+        a.col = col;
+        lines.push_back(map.encode(a));
+      }
+    }
+  };
+
+  // Deterministic anchor for small-scope faults, derived from the event.
+  const std::uint64_t anchor =
+      corruption_byte(e, 1) * 2654435761ULL;
+  const auto anchor_bank =
+      static_cast<std::uint32_t>(anchor % geom.banks_per_rank);
+  const auto anchor_row = static_cast<std::int64_t>(
+      (anchor >> 8) % geom.rows_per_bank);
+  const auto anchor_col = static_cast<std::int64_t>(
+      (anchor >> 24) % geom.lines_per_row());
+
+  switch (e.type) {
+    case FaultType::kBit:
+    case FaultType::kWord:
+      collect_bank(anchor_bank, anchor_row, anchor_col, e.rank);
+      break;
+    case FaultType::kRow:
+      collect_bank(anchor_bank, anchor_row, -1, e.rank);
+      break;
+    case FaultType::kColumn:
+      collect_bank(anchor_bank, -1, anchor_col, e.rank);
+      break;
+    case FaultType::kBank:
+      collect_bank(anchor_bank, -1, -1, e.rank);
+      break;
+    case FaultType::kMultiBank:
+      for (std::uint32_t b = 0; b < geom.banks_per_rank / 2; ++b) {
+        collect_bank((anchor_bank + b) % geom.banks_per_rank, -1, -1,
+                     e.rank);
+      }
+      break;
+    case FaultType::kMultiRank:
+      for (std::uint32_t r = 0; r < geom.ranks_per_channel; ++r) {
+        for (std::uint32_t b = 0; b < geom.banks_per_rank; ++b) {
+          collect_bank(b, -1, -1, r);
+        }
+      }
+      break;
+    case FaultType::kCount_:
+      break;
+  }
+
+  if (cap_ != 0 && lines.size() > cap_) {
+    // Deterministic thinning: keep every k-th line so the sample spans the
+    // whole affected region.
+    const std::uint64_t stride = lines.size() / cap_ + 1;
+    std::vector<std::uint64_t> thinned;
+    thinned.reserve(cap_);
+    for (std::uint64_t i = 0; i < lines.size(); i += stride) {
+      thinned.push_back(lines[i]);
+    }
+    lines = std::move(thinned);
+  }
+  return lines;
+}
+
+InjectionResult FaultInjector::inject(const FaultEvent& event) {
+  InjectionResult result;
+  result.type = event.type;
+  // The faulted chip owns a fixed share of every affected line; corrupt
+  // only data chips (ECC-chip faults corrupt detection bits, which the
+  // read path re-derives on correction -- modeled as a data-chip fault of
+  // the neighboring position for simplicity).
+  for (std::uint64_t line : affected_lines(event)) {
+    mgr_.corrupt_chip_share(line, event.chip % 4,
+                            corruption_byte(event, line));
+    ++result.lines_corrupted;
+  }
+  return result;
+}
+
+std::vector<InjectionResult> FaultInjector::inject_history(
+    const std::vector<FaultEvent>& events, bool scrub_between) {
+  std::vector<InjectionResult> results;
+  results.reserve(events.size());
+  for (const FaultEvent& e : events) {
+    results.push_back(inject(e));
+    if (scrub_between) mgr_.scrub();
+  }
+  return results;
+}
+
+}  // namespace eccsim::faults

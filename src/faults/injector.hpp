@@ -1,0 +1,66 @@
+// Fault injector: maps sampled device-level fault events onto the
+// functional ECC Parity manager's address space.
+//
+// This closes the loop between the two halves of the reproduction: the
+// Monte Carlo engine says *when and where* (channel/rank/chip) faults
+// strike and of what type; the injector translates each event into the
+// set of memory lines whose stored bytes that device fault corrupts, and
+// applies the corruption to an EccParityManager image -- after which the
+// manager's scrub/read machinery (Sec. III-C) must detect, correct,
+// retire, and materialize exactly as the paper describes.
+//
+// Scope mapping (per fault type, within the faulted chip):
+//   bit / word  -> one line;
+//   column      -> the same column (line slot) of every row of one bank;
+//   row         -> every line of one row of one bank;
+//   bank        -> every line of one bank;
+//   multi-bank  -> every line of half the chip's banks;
+//   multi-rank  -> every line of the chip position across all ranks.
+// Only the faulted chip's share of each affected line is corrupted; the
+// stuck-at pattern is deterministic per (event, line).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eccparity/manager.hpp"
+#include "faults/montecarlo.hpp"
+
+namespace eccsim::faults {
+
+/// Summary of one injected event.
+struct InjectionResult {
+  FaultType type = FaultType::kBit;
+  std::uint64_t lines_corrupted = 0;
+};
+
+/// Injects fault events into a functional manager.
+class FaultInjector {
+ public:
+  /// `lines_per_scope_cap` bounds the number of lines corrupted per event
+  /// so large-scope faults stay tractable in tests; the cap samples the
+  /// affected region deterministically (every k-th line).  Pass 0 for
+  /// uncapped injection.
+  FaultInjector(eccparity::EccParityManager& manager,
+                std::uint64_t lines_per_scope_cap = 512)
+      : mgr_(manager), cap_(lines_per_scope_cap) {}
+
+  /// Applies one sampled event; `chip` is interpreted as the within-rank
+  /// data-chip position whose share is corrupted.
+  InjectionResult inject(const FaultEvent& event);
+
+  /// Applies a whole event history in time order, scrubbing after each
+  /// event (the paper's detection model: the scrubber finds faults within
+  /// one detection window).  Returns per-event summaries.
+  std::vector<InjectionResult> inject_history(
+      const std::vector<FaultEvent>& events, bool scrub_between = true);
+
+ private:
+  /// All line indices (in the manager's geometry) touched by the event.
+  std::vector<std::uint64_t> affected_lines(const FaultEvent& e) const;
+
+  eccparity::EccParityManager& mgr_;
+  std::uint64_t cap_;
+};
+
+}  // namespace eccsim::faults

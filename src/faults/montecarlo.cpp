@@ -1,0 +1,244 @@
+#include "faults/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "common/units.hpp"
+
+namespace eccsim::faults {
+
+namespace {
+
+/// Deterministic per-system generator: cheap to derive for any index
+/// (unlike repeated jump()), still statistically independent streams.
+Rng system_rng(std::uint64_t seed, unsigned index) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return Rng(sm.next());
+}
+
+}  // namespace
+
+void parallel_systems(unsigned systems, std::uint64_t seed,
+                      const std::function<void(unsigned, Rng&)>& fn) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned workers = std::min(hw, systems == 0 ? 1u : systems);
+  if (workers <= 1) {
+    for (unsigned i = 0; i < systems; ++i) {
+      Rng rng = system_rng(seed, i);
+      fn(i, rng);
+    }
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (unsigned i = w; i < systems; i += workers) {
+        Rng rng = system_rng(seed, i);
+        fn(i, rng);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+std::vector<FaultEvent> sample_lifetime(const SystemShape& shape,
+                                        const FitRates& rates,
+                                        double lifetime_hours, Rng& rng) {
+  std::vector<FaultEvent> events;
+  const unsigned total_chips = shape.total_chips();
+  for (std::size_t ti = 0; ti < kFaultTypeCount; ++ti) {
+    const auto type = static_cast<FaultType>(ti);
+    const double rate_per_hour =
+        units::fit_to_per_hour(rates[type]) * total_chips;
+    if (rate_per_hour <= 0) continue;
+    // Poisson process over the whole chip population for this type.
+    double t = rng.exponential(rate_per_hour);
+    while (t < lifetime_hours) {
+      FaultEvent e;
+      e.time_hours = t;
+      e.type = type;
+      const std::uint64_t chip = rng.next_below(total_chips);
+      e.channel = static_cast<unsigned>(chip / shape.chips_per_channel());
+      const std::uint64_t within =
+          chip % shape.chips_per_channel();
+      e.rank = static_cast<unsigned>(within / shape.chips_per_rank);
+      e.chip = static_cast<unsigned>(within % shape.chips_per_rank);
+      events.push_back(e);
+      t += rng.exponential(rate_per_hour);
+    }
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+double analytic_mtbf_hours(const SystemShape& shape, double total_fit) {
+  return units::mtbf_hours(total_fit, shape.total_chips());
+}
+
+MtbfResult mtbf_between_channels(const SystemShape& shape,
+                                 const FitRates& rates, unsigned systems,
+                                 double lifetime_hours, std::uint64_t seed) {
+  MtbfResult out;
+  out.analytic_hours = analytic_mtbf_hours(shape, rates.total());
+  std::mutex mu;
+  double gap_sum = 0;
+  std::uint64_t gaps = 0;
+  parallel_systems(systems, seed, [&](unsigned, Rng& rng) {
+    const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
+    double local_sum = 0;
+    std::uint64_t local_gaps = 0;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      if (events[i].channel != events[i - 1].channel) {
+        local_sum += events[i].time_hours - events[i - 1].time_hours;
+        ++local_gaps;
+      }
+    }
+    const std::scoped_lock lock(mu);
+    gap_sum += local_sum;
+    gaps += local_gaps;
+  });
+  out.gaps_observed = gaps;
+  out.simulated_hours = gaps ? gap_sum / static_cast<double>(gaps) : 0.0;
+  return out;
+}
+
+EolResult eol_materialized_fraction(const SystemShape& shape,
+                                    const FitRates& rates, unsigned systems,
+                                    double lifetime_hours,
+                                    std::uint64_t seed) {
+  std::mutex mu;
+  SampleSet fractions;
+  fractions.reserve(systems);
+  unsigned with_any = 0;
+  parallel_systems(systems, seed, [&](unsigned, Rng& rng) {
+    const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
+    // Pairs marked faulty: key = channel * banks_per_channel/2 + pair.
+    std::unordered_set<std::uint64_t> faulty_pairs;
+    for (const FaultEvent& e : events) {
+      if (!saturates_error_counter(e.type)) continue;
+      const unsigned affected =
+          banks_affected(e.type, shape.banks_per_rank,
+                         shape.ranks_per_channel);
+      if (e.type == FaultType::kMultiRank) {
+        // Every bank of every rank in the channel.
+        for (unsigned r = 0; r < shape.ranks_per_channel; ++r) {
+          for (unsigned b = 0; b < shape.banks_per_rank; b += 2) {
+            faulty_pairs.insert(
+                (static_cast<std::uint64_t>(e.channel) << 32) |
+                (r << 8) | (b / 2));
+          }
+        }
+      } else {
+        // Banks within the faulted chip's rank, starting at a random bank.
+        const unsigned first =
+            static_cast<unsigned>(rng.next_below(shape.banks_per_rank));
+        for (unsigned k = 0; k < affected; ++k) {
+          const unsigned b = (first + k) % shape.banks_per_rank;
+          faulty_pairs.insert(
+              (static_cast<std::uint64_t>(e.channel) << 32) |
+              (e.rank << 8) | (b / 2));
+        }
+      }
+    }
+    const double fraction =
+        2.0 * static_cast<double>(faulty_pairs.size()) /
+        static_cast<double>(shape.total_banks());
+    const std::scoped_lock lock(mu);
+    fractions.add(fraction);
+    if (!faulty_pairs.empty()) ++with_any;
+  });
+  EolResult out;
+  out.mean_fraction = fractions.mean();
+  out.p999_fraction = fractions.percentile(99.9);
+  out.systems_with_any =
+      systems ? static_cast<double>(with_any) / systems : 0.0;
+  return out;
+}
+
+double analytic_multichannel_window_probability(const SystemShape& shape,
+                                                double total_fit,
+                                                double window_hours,
+                                                double lifetime_hours) {
+  // Per window: each channel faults with p = 1 - exp(-lambda_ch * w);
+  // P(>= 2 channels fault) = 1 - (1-p)^N - N p (1-p)^{N-1}.
+  const double lambda_ch = units::fit_to_per_hour(total_fit) *
+                           shape.chips_per_channel();
+  const double p = 1.0 - std::exp(-lambda_ch * window_hours);
+  const unsigned n = shape.channels;
+  const double none = std::pow(1.0 - p, n);
+  const double one = n * p * std::pow(1.0 - p, n - 1);
+  const double q = 1.0 - none - one;
+  const double windows = lifetime_hours / window_hours;
+  // P(at least one bad window over the lifetime).
+  return 1.0 - std::pow(1.0 - q, windows);
+}
+
+ScrubWindowResult multichannel_window_probability(
+    const SystemShape& shape, const FitRates& rates, double window_hours,
+    double lifetime_hours, unsigned systems, std::uint64_t seed) {
+  ScrubWindowResult out;
+  out.analytic_probability = analytic_multichannel_window_probability(
+      shape, rates.total(), window_hours, lifetime_hours);
+  std::mutex mu;
+  unsigned bad_systems = 0;
+  parallel_systems(systems, seed, [&](unsigned, Rng& rng) {
+    const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
+    // Walk the sorted events; flag any window containing two channels.
+    bool bad = false;
+    std::size_t i = 0;
+    while (i < events.size() && !bad) {
+      const auto window_index =
+          static_cast<std::uint64_t>(events[i].time_hours / window_hours);
+      const unsigned first_channel = events[i].channel;
+      std::size_t j = i + 1;
+      while (j < events.size() &&
+             static_cast<std::uint64_t>(events[j].time_hours /
+                                        window_hours) == window_index) {
+        if (events[j].channel != first_channel) {
+          bad = true;
+          break;
+        }
+        ++j;
+      }
+      i = j;
+    }
+    if (bad) {
+      const std::scoped_lock lock(mu);
+      ++bad_systems;
+    }
+  });
+  out.simulated_probability =
+      systems ? static_cast<double>(bad_systems) / systems : 0.0;
+  return out;
+}
+
+double hpc_stall_fraction(const HpcStallParams& params,
+                          const FitRates& rates) {
+  const double nodes = params.total_memory_bytes / params.node_memory_bytes;
+  const double chips_per_node =
+      params.node_memory_bytes / params.chip_capacity_bytes;
+  // Migration happens on every column-or-larger fault (Sec. VI-B).
+  double sat_fit = 0;
+  for (std::size_t t = 0; t < kFaultTypeCount; ++t) {
+    const auto type = static_cast<FaultType>(t);
+    if (saturates_error_counter(type)) sat_fit += rates[type];
+  }
+  const double events_per_hour =
+      units::fit_to_per_hour(sat_fit) * chips_per_node * nodes;
+  // Stall per event: migrate the node's memory over its NIC, plus
+  // reconstructing the ECC correction bits, which requires streaming the
+  // faulty node's memory once at memory bandwidth (~50 GB/s; a few
+  // seconds, Sec. III-B).
+  const double migrate_s =
+      params.node_memory_bytes / params.nic_bandwidth_bytes_per_s;
+  const double reconstruct_s =
+      params.node_memory_bytes / (50.0 * 1024 * 1024 * 1024);
+  const double stall_hours = (migrate_s + reconstruct_s) / 3600.0;
+  return events_per_hour * stall_hours;
+}
+
+}  // namespace eccsim::faults

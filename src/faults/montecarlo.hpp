@@ -1,0 +1,139 @@
+// Monte Carlo lifetime simulation of multi-channel memory systems under
+// field DRAM fault rates, plus the closed-form models it is validated
+// against.  Drives Fig. 2 (mean time between faults in different channels),
+// Fig. 8 (end-of-life fraction of memory with materialized correction
+// bits), Fig. 18 (probability of multi-channel faults inside one scrub
+// window), Table III's EOL columns, and the Sec. VI-B HPC stall estimate.
+//
+// Sampling: each chip's faults of each type arrive as independent Poisson
+// processes (the exponential failure distribution the paper assumes).
+// Simulations fan out across host threads with deterministic per-system
+// RNG substreams, so results are reproducible for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "faults/fault_model.hpp"
+
+namespace eccsim::faults {
+
+/// Geometry of one simulated system, in the units that matter for
+/// reliability: channels x ranks x chips-per-rank, with 8 banks per chip.
+struct SystemShape {
+  unsigned channels = 8;
+  unsigned ranks_per_channel = 4;
+  unsigned chips_per_rank = 9;
+  unsigned banks_per_rank = 8;
+
+  unsigned chips_per_channel() const {
+    return ranks_per_channel * chips_per_rank;
+  }
+  unsigned total_chips() const { return channels * chips_per_channel(); }
+  /// Logical banks per channel (bank-pair bookkeeping granularity).
+  unsigned banks_per_channel() const {
+    return ranks_per_channel * banks_per_rank;
+  }
+  unsigned total_banks() const { return channels * banks_per_channel(); }
+};
+
+/// One sampled fault event.
+struct FaultEvent {
+  double time_hours = 0;
+  FaultType type = FaultType::kBit;
+  unsigned channel = 0;
+  unsigned rank = 0;
+  unsigned chip = 0;
+
+  bool operator<(const FaultEvent& o) const { return time_hours < o.time_hours; }
+};
+
+/// Samples every fault event of one system over `lifetime_hours`.
+std::vector<FaultEvent> sample_lifetime(const SystemShape& shape,
+                                        const FitRates& rates,
+                                        double lifetime_hours, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Fig. 2: mean time between faults in different channels.
+
+struct MtbfResult {
+  double analytic_hours = 0;     ///< 1 / (total fault rate of the system)
+  double simulated_hours = 0;    ///< mean observed gap between successive
+                                 ///< faults in different channels
+  std::uint64_t gaps_observed = 0;
+};
+
+/// Analytic mean time between faults anywhere in the system.  Faults in
+/// *different* channels differ from this only by the (tiny) probability of
+/// two consecutive faults sharing a channel.
+double analytic_mtbf_hours(const SystemShape& shape, double total_fit);
+
+MtbfResult mtbf_between_channels(const SystemShape& shape,
+                                 const FitRates& rates, unsigned systems,
+                                 double lifetime_hours, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Fig. 8 / Table III: end-of-life materialized-correction-bit fraction.
+
+struct EolResult {
+  double mean_fraction = 0;    ///< average fraction of memory in faulty pairs
+  double p999_fraction = 0;    ///< 99.9th percentile across systems
+  double systems_with_any = 0; ///< fraction of systems with >= 1 faulty pair
+};
+
+/// Simulates `systems` systems for `lifetime_hours` and reports the
+/// fraction of memory whose ECC correction bits end up stored in memory
+/// (i.e. the memory of bank pairs marked faulty), Sec. III-E.
+EolResult eol_materialized_fraction(const SystemShape& shape,
+                                    const FitRates& rates, unsigned systems,
+                                    double lifetime_hours,
+                                    std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Fig. 18 / Sec. VI-C: scrub-interval analysis.
+
+struct ScrubWindowResult {
+  double analytic_probability = 0;   ///< P(>=2 channels fault in any window)
+  double simulated_probability = 0;
+};
+
+/// Analytic probability that faults occur in more than one channel within
+/// any single detection window of `window_hours` during `lifetime_hours`.
+double analytic_multichannel_window_probability(const SystemShape& shape,
+                                                double total_fit,
+                                                double window_hours,
+                                                double lifetime_hours);
+
+ScrubWindowResult multichannel_window_probability(
+    const SystemShape& shape, const FitRates& rates, double window_hours,
+    double lifetime_hours, unsigned systems, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Sec. VI-B: HPC stall estimate.
+
+struct HpcStallParams {
+  double total_memory_bytes = 2.0 * 1024 * 1024 * 1024 * 1024 * 1024;  // 2 PB
+  double node_memory_bytes = 128.0 * 1024 * 1024 * 1024;               // 128 GB
+  double nic_bandwidth_bytes_per_s = 1.0 * 1024 * 1024 * 1024;         // 1 GB/s
+  double chip_capacity_bytes = 256.0 * 1024 * 1024;                    // 2 Gb
+  double lifetime_hours = 7 * 24 * 365.25;
+};
+
+/// Fraction of time the whole HPC system is stalled migrating threads off
+/// nodes with column-or-larger faults and reconstructing correction bits.
+double hpc_stall_fraction(const HpcStallParams& params,
+                          const FitRates& rates);
+
+// ---------------------------------------------------------------------------
+// Shared helper: deterministic parallel map over system indices.
+
+/// Runs fn(system_index, rng) for each index in [0, systems) across host
+/// threads; each index gets Rng(seed).substream(index), so the result set
+/// is independent of the thread count.
+void parallel_systems(unsigned systems, std::uint64_t seed,
+                      const std::function<void(unsigned, Rng&)>& fn);
+
+}  // namespace eccsim::faults

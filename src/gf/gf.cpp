@@ -1,0 +1,51 @@
+#include "gf/gf.hpp"
+
+#include <stdexcept>
+
+namespace eccsim::gf {
+
+template <unsigned Bits>
+Field<Bits>::Tables::Tables() {
+  exp.resize(2 * (kOrder - 1));
+  log.resize(kOrder);
+  using Wide = typename Traits::Wide;
+  Wide x = 1;
+  for (unsigned i = 0; i < kOrder - 1; ++i) {
+    exp[i] = static_cast<Symbol>(x);
+    log[static_cast<Symbol>(x)] = i;
+    x <<= 1;
+    if (x & kOrder) x ^= Traits::kPrimitivePoly;
+  }
+  // Duplicate so exp[log a + log b] never needs reduction.
+  for (unsigned i = 0; i < kOrder - 1; ++i) exp[kOrder - 1 + i] = exp[i];
+  log[0] = 0;  // sentinel; callers must not take log(0)
+}
+
+template <unsigned Bits>
+typename Field<Bits>::Symbol Field<Bits>::div(Symbol a, Symbol b) {
+  if (b == 0) throw std::domain_error("GF division by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + (kOrder - 1) - t.log[b]];
+}
+
+template <unsigned Bits>
+unsigned Field<Bits>::log(Symbol x) {
+  if (x == 0) throw std::domain_error("GF log of zero");
+  return tables().log[x];
+}
+
+template <unsigned Bits>
+typename Field<Bits>::Symbol Field<Bits>::pow(Symbol a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const unsigned long long l =
+      static_cast<unsigned long long>(t.log[a]) * e % (kOrder - 1);
+  return t.exp[l];
+}
+
+template class Field<8>;
+template class Field<16>;
+
+}  // namespace eccsim::gf

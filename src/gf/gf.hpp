@@ -1,0 +1,99 @@
+// Galois-field arithmetic GF(2^m) for m = 8 and m = 16.
+//
+// These fields underlie every symbol-based code in the repository:
+//   - GF(2^8): the 4-check-symbol Reed-Solomon code of 36-device commercial
+//     chipkill correct, the 2-check-symbol code of the 18-device variant,
+//     Multi-ECC's shared correction line, and RAIM's per-DIMM code.
+//   - GF(2^16): the modified LOT-ECC5 inter-device code of Sec. VI-D, which
+//     computes two 16-bit check symbols per word of eight 16-bit symbols.
+//
+// Arithmetic is table-driven (log/antilog).  Tables are built once at
+// static-initialization time; all operations afterwards are lock-free reads
+// and safe to use from any number of threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace eccsim::gf {
+
+/// Traits selecting the representation and primitive polynomial per field.
+template <unsigned Bits>
+struct FieldTraits;
+
+template <>
+struct FieldTraits<8> {
+  using Symbol = std::uint8_t;
+  using Wide = std::uint32_t;
+  // x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the conventional RS-255 polynomial.
+  static constexpr Wide kPrimitivePoly = 0x11D;
+  static constexpr unsigned kOrder = 256;
+};
+
+template <>
+struct FieldTraits<16> {
+  using Symbol = std::uint16_t;
+  using Wide = std::uint32_t;
+  // x^16 + x^12 + x^3 + x + 1 (0x1100B), a standard primitive polynomial.
+  static constexpr Wide kPrimitivePoly = 0x1100B;
+  static constexpr unsigned kOrder = 65536;
+};
+
+/// GF(2^Bits) arithmetic.  All member functions are static; the log/exp
+/// tables live in a function-local singleton so construction is thread-safe
+/// under C++11 magic statics.
+template <unsigned Bits>
+class Field {
+ public:
+  using Traits = FieldTraits<Bits>;
+  using Symbol = typename Traits::Symbol;
+  static constexpr unsigned kOrder = Traits::kOrder;
+
+  /// Addition and subtraction coincide in characteristic 2.
+  static Symbol add(Symbol a, Symbol b) { return a ^ b; }
+
+  static Symbol mul(Symbol a, Symbol b) {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+  }
+
+  static Symbol div(Symbol a, Symbol b);
+
+  /// Multiplicative inverse; b must be nonzero.
+  static Symbol inv(Symbol b) { return div(1, b); }
+
+  /// alpha^power for the field generator alpha (power may exceed the group
+  /// order; it is reduced mod 2^Bits - 1).
+  static Symbol alpha_pow(unsigned power) {
+    const Tables& t = tables();
+    return t.exp[power % (kOrder - 1)];
+  }
+
+  /// Discrete log base alpha; x must be nonzero.
+  static unsigned log(Symbol x);
+
+  /// a^e by log arithmetic (a != 0; 0^0 == 1 by convention, 0^e == 0).
+  static Symbol pow(Symbol a, unsigned e);
+
+ private:
+  struct Tables {
+    // exp has doubled length so mul can skip the modular reduction.
+    std::vector<Symbol> exp;
+    std::vector<unsigned> log;
+    Tables();
+  };
+  static const Tables& tables() {
+    static const Tables t;
+    return t;
+  }
+};
+
+using GF256 = Field<8>;
+using GF65536 = Field<16>;
+
+extern template class Field<8>;
+extern template class Field<16>;
+
+}  // namespace eccsim::gf

@@ -1,0 +1,267 @@
+#include "gf/rs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eccsim::gf {
+
+template <unsigned Bits>
+ReedSolomon<Bits>::ReedSolomon(unsigned n, unsigned k) : n_(n), k_(k) {
+  if (k == 0 || k >= n || n > F::kOrder - 1) {
+    throw std::invalid_argument("ReedSolomon: require 1 <= k < n <= q-1");
+  }
+  // g(x) = prod_{j=1}^{2t} (x - alpha^j)
+  generator_ = {1};
+  for (unsigned j = 1; j <= n - k; ++j) {
+    const Symbol root = F::alpha_pow(j);
+    Poly next(generator_.size() + 1, 0);
+    for (std::size_t i = 0; i < generator_.size(); ++i) {
+      // (x + root) * g  (note: minus == plus in GF(2^m))
+      next[i + 1] = F::add(next[i + 1], generator_[i]);
+      next[i] = F::add(next[i], F::mul(generator_[i], root));
+    }
+    generator_ = std::move(next);
+  }
+}
+
+template <unsigned Bits>
+int ReedSolomon<Bits>::poly_deg(const Poly& p) {
+  for (int i = static_cast<int>(p.size()) - 1; i >= 0; --i) {
+    if (p[static_cast<std::size_t>(i)] != 0) return i;
+  }
+  return -1;
+}
+
+template <unsigned Bits>
+void ReedSolomon<Bits>::poly_trim(Poly& p) {
+  p.resize(static_cast<std::size_t>(poly_deg(p) + 1));
+}
+
+template <unsigned Bits>
+typename ReedSolomon<Bits>::Poly ReedSolomon<Bits>::poly_mul(const Poly& a,
+                                                             const Poly& b) {
+  if (a.empty() || b.empty()) return {};
+  Poly out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = F::add(out[i + j], F::mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+template <unsigned Bits>
+typename ReedSolomon<Bits>::Poly ReedSolomon<Bits>::poly_add(const Poly& a,
+                                                             const Poly& b) {
+  Poly out(std::max(a.size(), b.size()), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = F::add(out[i], b[i]);
+  return out;
+}
+
+template <unsigned Bits>
+typename ReedSolomon<Bits>::Poly ReedSolomon<Bits>::poly_mod(Poly a,
+                                                             const Poly& b) {
+  const int db = poly_deg(b);
+  if (db < 0) throw std::domain_error("poly_mod by zero polynomial");
+  const Symbol lead_inv = F::inv(b[static_cast<std::size_t>(db)]);
+  for (int da = poly_deg(a); da >= db; da = poly_deg(a)) {
+    const Symbol factor =
+        F::mul(a[static_cast<std::size_t>(da)], lead_inv);
+    const int shift = da - db;
+    for (int i = 0; i <= db; ++i) {
+      a[static_cast<std::size_t>(i + shift)] =
+          F::add(a[static_cast<std::size_t>(i + shift)],
+                 F::mul(factor, b[static_cast<std::size_t>(i)]));
+    }
+  }
+  poly_trim(a);
+  return a;
+}
+
+template <unsigned Bits>
+typename ReedSolomon<Bits>::Symbol ReedSolomon<Bits>::poly_eval(const Poly& p,
+                                                                Symbol x) {
+  Symbol acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) {
+    acc = F::add(F::mul(acc, x), p[i]);
+  }
+  return acc;
+}
+
+template <unsigned Bits>
+std::vector<typename ReedSolomon<Bits>::Symbol> ReedSolomon<Bits>::parity(
+    std::span<const Symbol> data) const {
+  if (data.size() != k_) {
+    throw std::invalid_argument("ReedSolomon::parity: data size != k");
+  }
+  // Systematic encoding: c(x) = d(x) * x^{2t} + (d(x) * x^{2t} mod g(x)).
+  Poly shifted(n_, 0);
+  for (unsigned i = 0; i < k_; ++i) shifted[n_ - k_ + i] = data[i];
+  Poly rem = poly_mod(std::move(shifted), generator_);
+  rem.resize(n_ - k_, 0);
+  return rem;
+}
+
+template <unsigned Bits>
+std::vector<typename ReedSolomon<Bits>::Symbol> ReedSolomon<Bits>::encode(
+    std::span<const Symbol> data) const {
+  std::vector<Symbol> cw = parity(data);
+  cw.resize(n_);
+  std::copy(data.begin(), data.end(), cw.begin() + (n_ - k_));
+  return cw;
+}
+
+template <unsigned Bits>
+typename ReedSolomon<Bits>::Poly ReedSolomon<Bits>::syndromes(
+    std::span<const Symbol> codeword) const {
+  Poly s(n_ - k_, 0);
+  for (unsigned j = 1; j <= n_ - k_; ++j) {
+    Symbol acc = 0;
+    const Symbol x = F::alpha_pow(j);
+    for (std::size_t i = codeword.size(); i-- > 0;) {
+      acc = F::add(F::mul(acc, x), codeword[i]);
+    }
+    s[j - 1] = acc;
+  }
+  return s;
+}
+
+template <unsigned Bits>
+bool ReedSolomon<Bits>::check(std::span<const Symbol> codeword) const {
+  if (codeword.size() != n_) {
+    throw std::invalid_argument("ReedSolomon::check: codeword size != n");
+  }
+  const Poly s = syndromes(codeword);
+  return std::all_of(s.begin(), s.end(), [](Symbol v) { return v == 0; });
+}
+
+template <unsigned Bits>
+RsDecodeResult ReedSolomon<Bits>::decode(
+    std::span<Symbol> codeword, std::span<const unsigned> erasures) const {
+  if (codeword.size() != n_) {
+    throw std::invalid_argument("ReedSolomon::decode: codeword size != n");
+  }
+  RsDecodeResult result;
+  const unsigned two_t = n_ - k_;
+  if (erasures.size() > two_t) return result;  // beyond code capability
+
+  Poly s = syndromes(codeword);
+  const bool syndrome_zero =
+      std::all_of(s.begin(), s.end(), [](Symbol v) { return v == 0; });
+  if (syndrome_zero) {
+    // Either error-free, or the erased positions happen to hold values that
+    // form a valid codeword (then nothing needs fixing).
+    result.ok = true;
+    return result;
+  }
+  result.detected_error = true;
+
+  // Erasure locator Gamma(x) = prod (1 + alpha^{pos} x).
+  Poly gamma = {1};
+  for (unsigned pos : erasures) {
+    if (pos >= n_) throw std::invalid_argument("erasure position out of range");
+    gamma = poly_mul(gamma, Poly{1, F::alpha_pow(pos)});
+  }
+
+  // Modified syndrome Xi(x) = Gamma(x) * S(x) mod x^{2t}.
+  Poly xi = poly_mul(gamma, s);
+  if (xi.size() > two_t) xi.resize(two_t);
+  poly_trim(xi);
+
+  // Sugiyama: run extended Euclid on (x^{2t}, Xi) until
+  // deg(remainder) < (2t + e) / 2.  The Bezout coefficient of Xi is the
+  // error locator Lambda; the remainder is the evaluator Omega.
+  const int target_deg =
+      static_cast<int>((two_t + static_cast<unsigned>(erasures.size())) / 2);
+  Poly r_prev(two_t + 1, 0);
+  r_prev[two_t] = 1;  // x^{2t}
+  Poly r_cur = xi;
+  Poly t_prev = {};   // 0
+  Poly t_cur = {1};
+  while (poly_deg(r_cur) >= target_deg) {
+    if (poly_deg(r_cur) < 0) break;  // Xi == 0: only erasures present
+    // Polynomial division r_prev = q * r_cur + r_next, tracking t.
+    Poly q;
+    {
+      Poly a = r_prev;
+      const int db = poly_deg(r_cur);
+      const Symbol lead_inv =
+          F::inv(r_cur[static_cast<std::size_t>(db)]);
+      q.assign(static_cast<std::size_t>(
+                   std::max(poly_deg(a) - db + 1, 1)),
+               0);
+      for (int da = poly_deg(a); da >= db; da = poly_deg(a)) {
+        const Symbol factor =
+            F::mul(a[static_cast<std::size_t>(da)], lead_inv);
+        const int shift = da - db;
+        q[static_cast<std::size_t>(shift)] = factor;
+        for (int i = 0; i <= db; ++i) {
+          a[static_cast<std::size_t>(i + shift)] =
+              F::add(a[static_cast<std::size_t>(i + shift)],
+                     F::mul(factor, r_cur[static_cast<std::size_t>(i)]));
+        }
+      }
+      poly_trim(a);
+      r_prev = std::move(a);  // r_next
+    }
+    std::swap(r_prev, r_cur);  // (r_cur, r_next)
+    Poly t_next = poly_add(t_prev, poly_mul(q, t_cur));
+    t_prev = std::move(t_cur);
+    t_cur = std::move(t_next);
+  }
+
+  Poly lambda = t_cur;
+  Poly omega = r_cur;
+
+  // Normalize so that Lambda(0) = 1 (required by Forney's formula).
+  if (lambda.empty() || lambda[0] == 0) return result;  // decode failure
+  const Symbol norm = F::inv(lambda[0]);
+  for (auto& c : lambda) c = F::mul(c, norm);
+  for (auto& c : omega) c = F::mul(c, norm);
+
+  // Full locator Psi = Lambda * Gamma covers errors and erasures alike.
+  Poly psi = poly_mul(lambda, gamma);
+  poly_trim(psi);
+  const int psi_deg = poly_deg(psi);
+  if (psi_deg < 0) return result;
+
+  // Formal derivative of Psi: in GF(2^m) even-power terms vanish.
+  Poly psi_deriv(psi.size() > 1 ? psi.size() - 1 : 0, 0);
+  for (std::size_t i = 1; i < psi.size(); i += 2) {
+    psi_deriv[i - 1] = psi[i];
+  }
+
+  // Chien search: position p is corrupt iff Psi(alpha^{-p}) == 0.
+  unsigned found = 0;
+  unsigned fixed_errors = 0;
+  unsigned fixed_erasures = 0;
+  for (unsigned p = 0; p < n_; ++p) {
+    const Symbol x_inv = F::alpha_pow((F::kOrder - 1 - p) % (F::kOrder - 1));
+    if (poly_eval(psi, x_inv) != 0) continue;
+    ++found;
+    const Symbol denom = poly_eval(psi_deriv, x_inv);
+    if (denom == 0) return result;  // repeated root: decode failure
+    // Forney (b = 1 convention): magnitude = Omega(X^-1) / Psi'(X^-1).
+    const Symbol mag = F::div(poly_eval(omega, x_inv), denom);
+    codeword[p] = F::add(codeword[p], mag);
+    const bool was_erasure =
+        std::find(erasures.begin(), erasures.end(), p) != erasures.end();
+    if (was_erasure) ++fixed_erasures;
+    else ++fixed_errors;
+  }
+  if (found != static_cast<unsigned>(psi_deg)) return result;  // failure
+
+  // Verify: recompute syndromes on the corrected word.
+  if (!check(codeword)) return result;
+  result.ok = true;
+  result.corrected_errors = fixed_errors;
+  result.corrected_erasures = fixed_erasures;
+  return result;
+}
+
+template class ReedSolomon<8>;
+template class ReedSolomon<16>;
+
+}  // namespace eccsim::gf

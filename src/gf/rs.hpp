@@ -1,0 +1,99 @@
+// Reed-Solomon encoder / errors-and-erasures decoder over GF(2^8) and
+// GF(2^16).
+//
+// The memory ECC schemes in this repository map DRAM chips to code symbols:
+// a chip failure erases known symbol positions (erasure decoding), while a
+// fault of unknown location must be found by the code itself (error
+// decoding).  A (n, k) code with 2t = n - k check symbols corrects any
+// combination of nu errors and e erasures with 2*nu + e <= 2t:
+//
+//   - 36-device commercial chipkill: 4 check symbols -> corrects 1 unknown
+//     symbol error and detects 2 (single-symbol-correct, double-symbol-
+//     detect), or corrects 2 erasures.
+//   - 18-device commercial chipkill: 2 check symbols -> corrects 1 erasure
+//     plus detects, or corrects 1 unknown error with no detection margin.
+//   - RAIM / LOT-ECC tier 2: erasure correction with separate localization.
+//
+// Decoder: Sugiyama (extended Euclidean) algorithm with erasures.  Given
+// syndromes S(x) and the erasure locator Gamma(x), it finds the error
+// locator Lambda(x) and evaluator Omega(x), locates roots by Chien search,
+// and computes error magnitudes with Forney's formula.  The generator
+// polynomial has roots alpha^1 .. alpha^{2t} (b = 1 convention).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf/gf.hpp"
+
+namespace eccsim::gf {
+
+/// Outcome of a decode attempt.
+struct RsDecodeResult {
+  bool ok = false;                ///< Codeword is now (or already was) valid.
+  bool detected_error = false;    ///< Nonzero syndrome was observed.
+  unsigned corrected_errors = 0;  ///< Unknown-location symbols fixed.
+  unsigned corrected_erasures = 0;  ///< Known-location symbols fixed.
+};
+
+/// A systematic (n, k) Reed-Solomon code over GF(2^Bits).
+///
+/// Codeword layout: positions [0, n-k) hold the parity symbols, positions
+/// [n-k, n) hold the data symbols in order.  Position i has locator
+/// alpha^i.  n must satisfy 1 <= k < n <= 2^Bits - 1.
+template <unsigned Bits>
+class ReedSolomon {
+ public:
+  using F = Field<Bits>;
+  using Symbol = typename F::Symbol;
+
+  ReedSolomon(unsigned n, unsigned k);
+
+  unsigned n() const { return n_; }
+  unsigned k() const { return k_; }
+  unsigned parity_symbols() const { return n_ - k_; }
+  /// Maximum erasures correctable with no unknown errors.
+  unsigned max_erasures() const { return n_ - k_; }
+  /// Maximum unknown-location errors correctable with no erasures.
+  unsigned max_errors() const { return (n_ - k_) / 2; }
+
+  /// Encodes `data` (size k) into a full codeword (size n).
+  std::vector<Symbol> encode(std::span<const Symbol> data) const;
+
+  /// Computes the parity symbols only (size n-k) for `data` (size k).
+  std::vector<Symbol> parity(std::span<const Symbol> data) const;
+
+  /// True iff all syndromes are zero (no detectable error).
+  bool check(std::span<const Symbol> codeword) const;
+
+  /// Corrects `codeword` in place.  `erasures` lists known-bad positions
+  /// (0-based codeword indices, each < n, no duplicates).  Returns the
+  /// decode outcome; on failure (`!ok`) the codeword may be partially
+  /// modified and must be discarded by the caller.
+  RsDecodeResult decode(std::span<Symbol> codeword,
+                        std::span<const unsigned> erasures = {}) const;
+
+ private:
+  using Poly = std::vector<Symbol>;  // coefficient i of x^i at index i
+
+  Poly syndromes(std::span<const Symbol> codeword) const;
+  static Poly poly_mul(const Poly& a, const Poly& b);
+  static Poly poly_mod(Poly a, const Poly& b);
+  static Poly poly_add(const Poly& a, const Poly& b);
+  static void poly_trim(Poly& p);
+  static Symbol poly_eval(const Poly& p, Symbol x);
+  static int poly_deg(const Poly& p);
+
+  unsigned n_;
+  unsigned k_;
+  Poly generator_;  // degree n-k, roots alpha^1..alpha^{n-k}
+};
+
+using Rs8 = ReedSolomon<8>;
+using Rs16 = ReedSolomon<16>;
+
+extern template class ReedSolomon<8>;
+extern template class ReedSolomon<16>;
+
+}  // namespace eccsim::gf

@@ -1,0 +1,383 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace eccsim::sim {
+
+namespace {
+
+std::uint32_t faulty_key(const dram::DramAddress& a) {
+  return (a.channel << 16) | (a.rank << 8) | a.bank;
+}
+
+// Namespace tags for LLC keys (data lines use their raw 64B index).
+constexpr std::uint64_t kXorKeyTag = 1ULL << 62;   // ParityLayout's tag
+constexpr std::uint64_t kEccKeyTag = 1ULL << 63;
+
+}  // namespace
+
+SystemSim::SystemSim(const ecc::SchemeDesc& scheme,
+                     const trace::WorkloadDesc& workload,
+                     const CpuConfig& cpu, const SimOptions& opts)
+    : scheme_(scheme),
+      cpu_(cpu),
+      opts_(opts),
+      mem_([&] {
+        dram::MemSystemConfig cfg = scheme.mem_config();
+        cfg.powerdown_enabled = opts.powerdown_enabled;
+        cfg.row_policy = opts.row_policy;
+        return cfg;
+      }()),
+      llc_(cache::CacheConfig{}),
+      lines64_per_memline_(scheme.line_bytes / 64) {
+  if (opts.dedicated_ecc_cache_bytes != 0) {
+    cache::CacheConfig ecc_cfg;
+    ecc_cfg.size_bytes = opts.dedicated_ecc_cache_bytes;
+    ecc_cfg.ways = 8;
+    dedicated_ecc_cache_ = std::make_unique<cache::Cache>(ecc_cfg);
+  }
+  if (scheme.line_bytes % 64 != 0) {
+    throw std::invalid_argument("SystemSim: line size must be 64B multiple");
+  }
+  cores_.reserve(cpu_.cores);
+  for (unsigned c = 0; c < cpu_.cores; ++c) {
+    cores_.push_back(Core{
+        trace::CoreGenerator(workload, c, cpu_.cores, opts.seed), 0, 0,
+        std::nullopt, 0});
+  }
+  if (scheme.uses_ecc_parity) {
+    const unsigned corr_bytes = static_cast<unsigned>(
+        scheme.correction_ratio * scheme.line_bytes);
+    parity_layout_.emplace(mem_.config().geometry(), corr_bytes);
+  }
+}
+
+bool SystemSim::bank_is_faulty(const dram::DramAddress& a) const {
+  if (opts_.faulty_banks.empty()) return false;
+  const std::uint32_t key = faulty_key(a);
+  return std::find(opts_.faulty_banks.begin(), opts_.faulty_banks.end(),
+                   key) != opts_.faulty_banks.end();
+}
+
+std::uint64_t SystemSim::ecc_cacheline_key(std::uint64_t memline) const {
+  if (scheme_.uses_ecc_parity) {
+    return parity_layout_->xor_cacheline_key(memline);
+  }
+  return kEccKeyTag | (memline / scheme_.ecc_line_coverage);
+}
+
+dram::DramAddress SystemSim::ecc_line_address(std::uint64_t key) const {
+  const auto& geom = mem_.config().geometry();
+  if (scheme_.uses_ecc_parity) {
+    // Invert the XOR key: (stripe, slot-bucket) -> the primary group's
+    // parity line.  (Leftover lines share the bucket's parity address in
+    // this traffic model; the functional manager keeps them exact.)
+    const std::uint64_t v = key & ~kXorKeyTag;
+    const std::uint32_t buckets = geom.lines_per_row() / 4;
+    eccparity::GroupId g;
+    g.leftover = false;
+    g.index = v / buckets;
+    g.slot = static_cast<std::uint32_t>(v % buckets) * 4;
+    return parity_layout_->parity_line_address(g);
+  }
+  // Tiered baselines (LOT-ECC, Multi-ECC): the tier-2/correction line lives
+  // in the reserved top rows of the same bank as the lines it covers.
+  const std::uint64_t first_line = (key & ~kEccKeyTag) *
+                                   scheme_.ecc_line_coverage;
+  dram::DramAddress a = mem_.map().decode(
+      std::min<std::uint64_t>(first_line, geom.total_data_lines() - 1));
+  const std::uint64_t reserved = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(geom.rows_per_bank) *
+             scheme_.correction_ratio));
+  a.row = geom.rows_per_bank - 1 - (a.row % reserved);
+  return a;
+}
+
+void SystemSim::send_or_queue(const PendingReq& req) {
+  if (warmup_) return;  // cache state only; no memory traffic
+  if (!mem_.enqueue_addr(req.addr, req.is_write, req.line_class, req.id)) {
+    pending_.push_back(req);
+  }
+}
+
+void SystemSim::drain_pending() {
+  const std::size_t n = pending_.size();
+  for (std::size_t i = 0; i < n && !pending_.empty(); ++i) {
+    PendingReq req = pending_.front();
+    pending_.pop_front();
+    if (!mem_.enqueue_addr(req.addr, req.is_write, req.line_class, req.id)) {
+      pending_.push_back(req);
+    }
+  }
+}
+
+bool SystemSim::request_read(std::uint64_t memline, int core) {
+  if (warmup_) return true;
+  auto it = mshr_.find(memline);
+  if (it != mshr_.end()) {
+    if (core >= 0) it->second.push_back(core);
+    return true;
+  }
+  const std::uint64_t id = next_id_++;
+  id_to_memline_[id] = memline;
+  auto& waiters = mshr_[memline];
+  if (core >= 0) waiters.push_back(core);
+  const std::uint64_t capped =
+      memline % mem_.config().geometry().total_data_lines();
+  send_or_queue(PendingReq{mem_.map().decode(capped), false,
+                           dram::LineClass::kData, id});
+  return true;
+}
+
+void SystemSim::process_eviction(std::uint64_t victim_addr,
+                                 cache::LineKind kind) {
+  // Iterative worklist: ECC cacheline insertions can evict further lines.
+  std::deque<std::pair<std::uint64_t, cache::LineKind>> work;
+  work.emplace_back(victim_addr, kind);
+  while (!work.empty()) {
+    const auto [addr, k] = work.front();
+    work.pop_front();
+    switch (k) {
+      case cache::LineKind::kData: {
+        const std::uint64_t memline = mem_line_of(addr);
+        const std::uint64_t capped =
+            memline % mem_.config().geometry().total_data_lines();
+        const dram::DramAddress daddr = mem_.map().decode(capped);
+        send_or_queue(PendingReq{daddr, true, dram::LineClass::kData,
+                                 next_id_++});
+        if (scheme_.maint == ecc::MaintTraffic::kNone) break;
+        // The write dirties the covering ECC/XOR cacheline (Fig. 7); a
+        // faulty bank uses its materialized ECC line (step D) instead of
+        // the parity's XOR line.
+        cache::LineKind ecc_kind =
+            scheme_.maint == ecc::MaintTraffic::kWriteOnEvict
+                ? cache::LineKind::kEcc
+                : cache::LineKind::kXor;
+        if (scheme_.uses_ecc_parity && bank_is_faulty(daddr)) {
+          ecc_kind = cache::LineKind::kEcc;
+        }
+        const std::uint64_t key = ecc_cacheline_key(capped);
+        const auto r = ecc_cache().access(key, true, ecc_kind);
+        if (r.writeback) work.emplace_back(r.victim_addr, r.victim_kind);
+        break;
+      }
+      case cache::LineKind::kEcc: {
+        // Tier-2 / materialized ECC line: one memory write (Sec. IV-C).
+        send_or_queue(PendingReq{ecc_line_address(addr), true,
+                                 dram::LineClass::kEccOther, next_id_++});
+        break;
+      }
+      case cache::LineKind::kXor: {
+        // Parity read-modify-write: read the old parity line, write the
+        // updated one (Sec. IV-C).
+        const dram::DramAddress paddr = ecc_line_address(addr);
+        send_or_queue(PendingReq{paddr, false, dram::LineClass::kEccParity,
+                                 next_id_++});
+        send_or_queue(PendingReq{paddr, true, dram::LineClass::kEccParity,
+                                 next_id_++});
+        break;
+      }
+    }
+  }
+}
+
+bool SystemSim::execute_op(unsigned c, const trace::MemOp& op) {
+  Core& core = cores_[c];
+  const std::uint64_t memline = mem_line_of(op.line);
+  const std::uint64_t capped =
+      memline % mem_.config().geometry().total_data_lines();
+  const dram::DramAddress daddr = mem_.map().decode(capped);
+
+  if (!op.is_write) {
+    // Read: an LLC miss occupies an MLP slot; refuse (and stall the core)
+    // if none is free.
+    if (!warmup_ && !llc_.contains(op.line) &&
+        core.outstanding_reads >= cpu_.mlp) {
+      return false;
+    }
+    const auto r = llc_.access(op.line, false, cache::LineKind::kData);
+    if (r.writeback) process_eviction(r.victim_addr, r.victim_kind);
+    if (!r.hit && !warmup_) {
+      ++core.outstanding_reads;
+      request_read(memline, static_cast<int>(c));
+    }
+    // Step A1/B: reads to a faulty bank also need the ECC line (cached).
+    if (scheme_.uses_ecc_parity && bank_is_faulty(daddr)) {
+      const std::uint64_t key = ecc_cacheline_key(capped) | kEccKeyTag;
+      const auto er = ecc_cache().access(key, false, cache::LineKind::kEcc);
+      if (er.writeback) process_eviction(er.victim_addr, er.victim_kind);
+      if (!er.hit) {
+        send_or_queue(PendingReq{ecc_line_address(key & ~kEccKeyTag), false,
+                                 dram::LineClass::kEccCorrection,
+                                 next_id_++});
+      }
+    }
+    return true;
+  }
+
+  // Write: write-allocate; the fetch-on-write read is non-blocking.
+  const auto r = llc_.access(op.line, true, cache::LineKind::kData);
+  if (r.writeback) process_eviction(r.victim_addr, r.victim_kind);
+  if (!r.hit) request_read(memline, -1);
+  return true;
+}
+
+void SystemSim::core_cycle(unsigned c) {
+  Core& core = cores_[c];
+  unsigned budget = cpu_.width;
+  while (budget > 0) {
+    if (!core.waiting_op) {
+      const trace::MemOp next = core.gen.next();
+      core.gap_remaining = next.gap;
+      core.waiting_op = next;
+    }
+    if (core.gap_remaining > 0) {
+      const unsigned take = static_cast<unsigned>(std::min<std::uint64_t>(
+          budget, core.gap_remaining));
+      core.committed += take;
+      core.gap_remaining -= take;
+      budget -= take;
+      continue;
+    }
+    // The memory op is due.
+    if (!execute_op(c, *core.waiting_op)) return;  // stall; retry next cycle
+    ++core.committed;  // the memory instruction itself
+    --budget;
+    core.waiting_op.reset();
+  }
+}
+
+void SystemSim::cpu_cycle() {
+  for (unsigned c = 0; c < cpu_.cores; ++c) core_cycle(c);
+}
+
+void SystemSim::handle_completions() {
+  auto& done = mem_.completions();
+  for (const auto& comp : done) {
+    if (comp.is_write) continue;
+    const auto it = id_to_memline_.find(comp.id);
+    if (it == id_to_memline_.end()) continue;  // ECC read: nothing to fill
+    const std::uint64_t memline = it->second;
+    id_to_memline_.erase(it);
+    // Fill all 64B siblings of the memory line (128B-line prefetch effect).
+    for (std::uint32_t i = 0; i < lines64_per_memline_; ++i) {
+      const auto r = llc_.fill(memline * lines64_per_memline_ + i);
+      if (r.writeback) process_eviction(r.victim_addr, r.victim_kind);
+    }
+    const auto w = mshr_.find(memline);
+    if (w != mshr_.end()) {
+      for (int c : w->second) {
+        if (c >= 0 && cores_[static_cast<unsigned>(c)].outstanding_reads > 0) {
+          --cores_[static_cast<unsigned>(c)].outstanding_reads;
+        }
+      }
+      mshr_.erase(w);
+    }
+  }
+  done.clear();
+}
+
+RunResult SystemSim::run() {
+  // Warm the LLC to steady state before measuring (the paper warms caches
+  // for a billion instructions, Sec. IV-B): stream each core's access
+  // pattern through the cache with no timing or memory side effects, so
+  // the measured phase starts with a populated cache whose evictions --
+  // and therefore ECC-maintenance traffic -- reflect steady state.
+  {
+    warmup_ = true;
+    const std::uint64_t llc_lines =
+        cache::CacheConfig{}.size_bytes / cache::CacheConfig{}.line_bytes;
+    const std::uint64_t warm_ops_per_core = 3 * llc_lines / cpu_.cores;
+    // Interleave cores so shared-footprint (PARSEC-style) workloads warm
+    // the cache the way they will run.  The full execute_op path runs --
+    // including ECC/XOR cacheline insertion and eviction -- so the LLC
+    // reaches its steady-state mix of data and ECC lines; send_or_queue
+    // and request_read drop everything while warmup_ is set.
+    for (std::uint64_t i = 0; i < warm_ops_per_core; ++i) {
+      for (unsigned c = 0; c < cpu_.cores; ++c) {
+        (void)execute_op(c, cores_[c].gen.next());
+      }
+    }
+    llc_.reset_stats();
+    warmup_ = false;
+  }
+
+  std::uint64_t committed_total = 0;
+  std::uint64_t scrub_cursor = 0;
+  while (committed_total < opts_.target_instructions &&
+         mem_.cycle() < opts_.max_mem_cycles) {
+    mem_.tick();
+    handle_completions();
+    drain_pending();
+    if (opts_.scrub_read_interval != 0 &&
+        mem_.cycle() % opts_.scrub_read_interval == 0) {
+      // Background scrubber: sweep the data space one line per interval
+      // (Sec. VI-C).  Scrub reads are tagged as ECC traffic so their
+      // bandwidth cost is visible in the statistics.
+      const std::uint64_t total =
+          mem_.config().geometry().total_data_lines();
+      send_or_queue(PendingReq{mem_.map().decode(scrub_cursor % total),
+                               false, dram::LineClass::kEccOther,
+                               next_id_++});
+      ++scrub_cursor;
+    }
+    for (unsigned k = 0; k < cpu_.cpu_cycles_per_mem_cycle; ++k) {
+      cpu_cycle();
+    }
+    if ((mem_.cycle() & 0x3FF) == 0) {
+      committed_total = 0;
+      for (const auto& c : cores_) committed_total += c.committed;
+    }
+  }
+  const std::uint64_t run_cycles = mem_.cycle();
+
+  // Drain outstanding traffic so energy accounting is complete.
+  std::uint64_t guard = 0;
+  while ((mem_.outstanding() > 0 || !pending_.empty()) && guard < 200'000) {
+    mem_.tick();
+    handle_completions();
+    drain_pending();
+    ++guard;
+  }
+
+  RunResult result;
+  result.scheme = scheme_.name;
+  result.workload = cores_[0].gen.desc().name;
+  for (const auto& c : cores_) result.instructions += c.committed;
+  result.mem_cycles = run_cycles;
+  result.mem = mem_.finalize();
+  result.llc = llc_.stats();
+  const double instr = static_cast<double>(result.instructions);
+  const double cpu_cycles =
+      static_cast<double>(run_cycles) * cpu_.cpu_cycles_per_mem_cycle;
+  result.ipc = instr / cpu_cycles;
+  result.epi_pj = result.mem.energy.total_pj() / instr;
+  result.dynamic_epi_pj = result.mem.energy.dynamic_pj() / instr;
+  result.background_epi_pj =
+      (result.mem.energy.background_pj + result.mem.energy.refresh_pj) /
+      instr;
+  result.mapi =
+      static_cast<double>(result.mem.accesses_64b(scheme_.line_bytes)) /
+      instr;
+  const double burst = mem_.config().device.timing.tBurst;
+  result.bandwidth_utilization =
+      static_cast<double>(result.mem.reads + result.mem.writes) * burst /
+      (static_cast<double>(scheme_.channels) *
+       static_cast<double>(run_cycles));
+  result.avg_read_latency = result.mem.avg_read_latency;
+  return result;
+}
+
+RunResult run_experiment(ecc::SchemeId scheme, ecc::SystemScale scale,
+                         const std::string& workload_name,
+                         const SimOptions& opts) {
+  const ecc::SchemeDesc desc = ecc::make_scheme(scheme, scale);
+  SystemSim sim(desc, trace::workload_by_name(workload_name), CpuConfig{},
+                opts);
+  return sim.run();
+}
+
+}  // namespace eccsim::sim

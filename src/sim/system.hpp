@@ -1,0 +1,173 @@
+// Full-system performance/energy simulator (Sec. IV methodology).
+//
+// Pipeline per simulated memory-clock cycle (1 GHz):
+//   1. The DRAM simulator advances; completed reads unblock waiting cores
+//     and fill the LLC (128B-line schemes fill both 64B halves -- the
+//     prefetch effect that lets commercial chipkill win on some
+//     spatially-local workloads, Sec. V-C).
+//   2. Each of the eight 2 GHz cores runs two CPU cycles: committing up to
+//     `width` instructions, issuing its next memory operation when its
+//     instruction gap elapses.  Reads that miss the LLC occupy one of the
+//     core's MLP slots; a core with all slots full stalls -- this is the
+//     latency feedback that turns DRAM contention into IPC loss.
+//   3. LLC evictions expand into ECC-maintenance traffic per the scheme's
+//     model (Sec. IV-C): dirty data -> memory write (+ an ECC/XOR
+//     cacheline touch for tiered/parity schemes); dirty ECC line -> one
+//     write; dirty XOR line -> parity read-modify-write (one read + one
+//     write).
+//
+// The result captures exactly what Figs. 9-17 report: memory energy split
+// into dynamic/background, performance (IPC), bandwidth utilization, and
+// memory accesses (64B units) per instruction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "dram/memory_system.hpp"
+#include "ecc/scheme.hpp"
+#include "eccparity/layout.hpp"
+#include "trace/workload.hpp"
+
+namespace eccsim::sim {
+
+/// Processor parameters (Table I).
+struct CpuConfig {
+  unsigned cores = 8;
+  unsigned width = 2;             ///< commit width per core cycle
+  unsigned cpu_cycles_per_mem_cycle = 2;  ///< 2 GHz cores, 1 GHz memory
+  unsigned mlp = 4;               ///< outstanding read misses per core
+};
+
+/// Run-control knobs.
+struct SimOptions {
+  std::uint64_t target_instructions = 2'000'000;  ///< total across cores
+  std::uint64_t max_mem_cycles = 20'000'000;      ///< safety stop
+  std::uint64_t seed = 1;
+  /// Banks recorded as faulty, for degraded-mode studies (steps B/D of
+  /// Fig. 6).  Keys: (channel << 16) | (rank << 8) | bank.
+  std::vector<std::uint32_t> faulty_banks;
+  /// Rank power-down when idle (the Sec. IV-B close-page sleep policy);
+  /// disable for the power-down ablation.
+  bool powerdown_enabled = true;
+  /// Row-buffer policy (the paper uses close-page; open-page is available
+  /// for the row-policy ablation).
+  dram::RowPolicy row_policy = dram::RowPolicy::kClosePage;
+  /// Demand-scrub injection: when nonzero, one extra scrub read is issued
+  /// every this many memory cycles, sweeping addresses round-robin
+  /// (Sec. VI-C's scrub-rate cost in performance/energy terms).
+  std::uint64_t scrub_read_interval = 0;
+  /// When nonzero, ECC/XOR cachelines live in a dedicated cache of this
+  /// size instead of the LLC.  Multi-ECC [13] used a dedicated 128 KB ECC
+  /// cache; the paper's methodology moves ECC lines into the 8 MB LLC
+  /// (Sec. IV-C) -- this knob quantifies that choice.
+  std::uint64_t dedicated_ecc_cache_bytes = 0;
+};
+
+/// Everything a run produces.
+struct RunResult {
+  std::string scheme;
+  std::string workload;
+  std::uint64_t instructions = 0;
+  std::uint64_t mem_cycles = 0;
+  double ipc = 0;                ///< instructions per CPU cycle (all cores)
+  dram::MemSystemStats mem;
+  cache::Cache::Stats llc;
+  double epi_pj = 0;             ///< memory energy per instruction (pJ)
+  double dynamic_epi_pj = 0;
+  double background_epi_pj = 0;  ///< incl. refresh
+  double mapi = 0;               ///< 64B memory accesses per instruction
+  double bandwidth_utilization = 0;  ///< data-bus busy fraction (mean)
+  double avg_read_latency = 0;
+};
+
+/// One workload on one memory system.
+class SystemSim {
+ public:
+  SystemSim(const ecc::SchemeDesc& scheme, const trace::WorkloadDesc& workload,
+            const CpuConfig& cpu = CpuConfig{},
+            const SimOptions& opts = SimOptions{});
+
+  /// Runs to completion and returns the metrics.
+  RunResult run();
+
+ private:
+  struct Core {
+    trace::CoreGenerator gen;
+    std::uint64_t committed = 0;
+    std::uint32_t gap_remaining = 0;
+    std::optional<trace::MemOp> waiting_op;  ///< op blocked on MLP/queue
+    unsigned outstanding_reads = 0;
+  };
+
+  // Memory request plumbing -------------------------------------------------
+  struct PendingReq {
+    dram::DramAddress addr;
+    bool is_write;
+    dram::LineClass line_class;
+    std::uint64_t id;
+  };
+
+  /// Converts a global 64B-line index to the scheme's memory-line index.
+  std::uint64_t mem_line_of(std::uint64_t line64) const {
+    return line64 / lines64_per_memline_;
+  }
+
+  void cpu_cycle();
+  void core_cycle(unsigned c);
+  /// Runs the LLC access for one op; returns false if the core must retry
+  /// (MLP exhausted or request queue full).
+  bool execute_op(unsigned c, const trace::MemOp& op);
+  /// Handles an LLC eviction (and the ECC traffic it triggers).
+  void process_eviction(std::uint64_t victim_addr, cache::LineKind kind);
+  /// Demand read for a memory line; registers the waiting core (or none).
+  bool request_read(std::uint64_t memline, int core);
+  void send_or_queue(const PendingReq& req);
+  void drain_pending();
+  void handle_completions();
+
+  // ECC traffic helpers -----------------------------------------------------
+  /// The LLC key of the ECC/XOR cacheline covering a data memory line.
+  std::uint64_t ecc_cacheline_key(std::uint64_t memline) const;
+  /// The memory address of the ECC/parity line behind an ECC cacheline key.
+  dram::DramAddress ecc_line_address(std::uint64_t key) const;
+  bool bank_is_faulty(const dram::DramAddress& a) const;
+
+  /// The cache holding ECC/XOR lines: the LLC itself, or the optional
+  /// dedicated ECC cache.
+  cache::Cache& ecc_cache() {
+    return dedicated_ecc_cache_ ? *dedicated_ecc_cache_ : llc_;
+  }
+
+  ecc::SchemeDesc scheme_;
+  CpuConfig cpu_;
+  SimOptions opts_;
+  dram::MemorySystem mem_;
+  cache::Cache llc_;
+  std::unique_ptr<cache::Cache> dedicated_ecc_cache_;
+  std::vector<Core> cores_;
+  std::optional<eccparity::ParityLayout> parity_layout_;
+
+  std::uint32_t lines64_per_memline_;
+  bool warmup_ = false;  ///< suppresses memory traffic during LLC warmup
+  std::uint64_t next_id_ = 1;
+  std::deque<PendingReq> pending_;
+  // In-flight demand reads: memline -> cores waiting on it.
+  std::unordered_map<std::uint64_t, std::vector<int>> mshr_;
+  std::unordered_map<std::uint64_t, std::uint64_t> id_to_memline_;
+  std::unordered_map<std::uint64_t, std::uint64_t> ecc_key_to_index_;
+  std::vector<std::uint64_t> ecc_index_to_key_;
+};
+
+/// Convenience: run one (scheme, scale, workload) experiment.
+RunResult run_experiment(ecc::SchemeId scheme, ecc::SystemScale scale,
+                         const std::string& workload_name,
+                         const SimOptions& opts = SimOptions{});
+
+}  // namespace eccsim::sim

@@ -1,0 +1,160 @@
+// Unit tests for the shared LLC model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace eccsim::cache {
+namespace {
+
+CacheConfig tiny_cache() {
+  CacheConfig cfg;
+  cfg.size_bytes = 64 * 64;  // 64 lines
+  cfg.line_bytes = 64;
+  cfg.ways = 4;              // 16 sets
+  return cfg;
+}
+
+TEST(Cache, ConfigValidation) {
+  CacheConfig bad = tiny_cache();
+  bad.ways = 0;
+  EXPECT_THROW(Cache{bad}, std::invalid_argument);
+  bad = tiny_cache();
+  bad.size_bytes = 64 * 60;  // 15 sets: not a power of two
+  EXPECT_THROW(Cache{bad}, std::invalid_argument);
+}
+
+TEST(Cache, PaperLlcGeometry) {
+  Cache llc{CacheConfig{}};  // defaults = Table I LLC
+  EXPECT_EQ(llc.sets(), 8192u);
+  EXPECT_EQ(llc.ways(), 16u);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c{tiny_cache()};
+  EXPECT_FALSE(c.access(100, false).hit);
+  EXPECT_TRUE(c.access(100, false).hit);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, WriteMakesDirtyVictim) {
+  Cache c{tiny_cache()};
+  c.access(42, true);  // dirty
+  // Evict it by filling its set with enough conflicting lines.  Addresses
+  // map through a hash, so brute-force: insert lines until 42 is gone.
+  std::uint64_t addr = 1000;
+  bool evicted_42 = false;
+  for (int i = 0; i < 4096 && !evicted_42; ++i, ++addr) {
+    const AccessResult r = c.access(addr, false);
+    if (r.writeback && r.victim_addr == 42) evicted_42 = true;
+  }
+  EXPECT_TRUE(evicted_42);
+}
+
+TEST(Cache, CleanVictimNeedsNoWriteback) {
+  Cache c{tiny_cache()};
+  c.access(42, false);  // clean
+  std::uint64_t addr = 1000;
+  for (int i = 0; i < 4096; ++i, ++addr) {
+    const AccessResult r = c.access(addr, false);
+    ASSERT_FALSE(r.writeback && r.victim_addr == 42)
+        << "clean line must not be written back";
+    if (!c.contains(42)) break;
+  }
+  EXPECT_FALSE(c.contains(42));
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // Access two dirty lines, refresh the first, then stream conflicting
+  // lines through: each victim is written back exactly once, and the
+  // refreshed line must not be evicted before the stale one in its set.
+  Cache c{tiny_cache()};
+  c.access(10, true);
+  c.access(20, true);
+  c.access(10, false);  // refresh 10
+  int evictions_10 = 0, evictions_20 = 0;
+  for (std::uint64_t x = 5000; x < 9096; ++x) {
+    const auto r = c.access(x, false);
+    if (r.writeback && r.victim_addr == 10) ++evictions_10;
+    if (r.writeback && r.victim_addr == 20) ++evictions_20;
+    if (!c.contains(10) && !c.contains(20)) break;
+  }
+  EXPECT_EQ(evictions_10, 1);
+  EXPECT_EQ(evictions_20, 1);
+}
+
+TEST(Cache, FillDoesNotMarkDirty) {
+  Cache c{tiny_cache()};
+  c.fill(77);
+  EXPECT_TRUE(c.contains(77));
+  EXPECT_FALSE(c.invalidate(77));  // returns dirty flag
+}
+
+TEST(Cache, FillOnPresentLineIsNoop) {
+  Cache c{tiny_cache()};
+  c.access(77, true);
+  const auto r = c.fill(77);
+  EXPECT_TRUE(r.hit);
+  EXPECT_TRUE(c.invalidate(77));  // still dirty from the write
+}
+
+TEST(Cache, KindsAreTracked) {
+  Cache c{tiny_cache()};
+  c.access(1, true, LineKind::kXor);
+  std::uint64_t addr = 1000;
+  bool saw_xor_victim = false;
+  for (int i = 0; i < 4096 && !saw_xor_victim; ++i, ++addr) {
+    const auto r = c.access(addr, false);
+    if (r.writeback && r.victim_addr == 1) {
+      saw_xor_victim = r.victim_kind == LineKind::kXor;
+    }
+  }
+  EXPECT_TRUE(saw_xor_victim);
+}
+
+TEST(Cache, FlushWritesBackAllDirty) {
+  Cache c{tiny_cache()};
+  c.access(1, true, LineKind::kData);
+  c.access(2, true, LineKind::kEcc);
+  c.access(3, false);
+  std::vector<std::pair<std::uint64_t, LineKind>> flushed;
+  c.flush([&](std::uint64_t a, LineKind k) { flushed.emplace_back(a, k); });
+  EXPECT_EQ(flushed.size(), 2u);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_FALSE(c.contains(3));
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c{tiny_cache()};
+  c.access(9, true);
+  EXPECT_TRUE(c.invalidate(9));
+  EXPECT_FALSE(c.contains(9));
+  EXPECT_FALSE(c.invalidate(9));
+}
+
+TEST(Cache, HitRateComputation) {
+  Cache c{tiny_cache()};
+  c.access(1, false);
+  c.access(1, false);
+  c.access(1, false);
+  c.access(2, false);
+  EXPECT_NEAR(c.stats().hit_rate(), 0.5, 1e-9);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  Cache c{tiny_cache()};
+  for (std::uint64_t a = 0; a < 32; ++a) c.access(a, false);
+  const auto misses_before = c.stats().misses;
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t a = 0; a < 32; ++a) c.access(a, false);
+  }
+  // A 64-line cache holding a 32-line working set may still conflict-miss
+  // under hashed indexing, but the steady-state miss rate must be tiny.
+  EXPECT_LE(c.stats().misses - misses_before, 32u);
+}
+
+}  // namespace
+}  // namespace eccsim::cache

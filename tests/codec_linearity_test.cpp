@@ -1,0 +1,153 @@
+// Linearity of every scheme's correction bits -- the algebraic property
+// the whole ECC Parity mechanism rests on (Sec. III-A):
+//
+//   corr(a XOR b) == corr(a) XOR corr(b)
+//
+// implies corr(zero) == 0, that the cross-channel parity of correction
+// bits behaves like RAID-5 parity, and that Eq. 1's incremental update
+// (P ^= corr(old) ^ corr(new)) keeps the stored parity equal to the XOR
+// of the members' correction bits.  Every codec that ECC Parity can wrap
+// must satisfy it; these parameterized tests pin it down per scheme.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ecc/codec.hpp"
+#include "ecc/lotecc5_rs16.hpp"
+
+namespace eccsim::ecc {
+namespace {
+
+enum class CodecKind {
+  kChipkill36,
+  kLotEcc5,
+  kLotEcc9,
+  kRaim,
+  kRaimParity,
+  kLotEcc5Rs16,
+};
+
+std::unique_ptr<LineCodec> build(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kChipkill36: return make_codec(SchemeId::kChipkill36);
+    case CodecKind::kLotEcc5: return make_codec(SchemeId::kLotEcc5);
+    case CodecKind::kLotEcc9: return make_codec(SchemeId::kLotEcc9);
+    case CodecKind::kRaim: return make_codec(SchemeId::kRaim);
+    case CodecKind::kRaimParity: return make_codec(SchemeId::kRaimParity);
+    case CodecKind::kLotEcc5Rs16: return make_lotecc5_rs16_codec();
+  }
+  return nullptr;
+}
+
+std::string kind_name(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kChipkill36: return "chipkill36";
+    case CodecKind::kLotEcc5: return "lotecc5";
+    case CodecKind::kLotEcc9: return "lotecc9";
+    case CodecKind::kRaim: return "raim";
+    case CodecKind::kRaimParity: return "raim_parity";
+    case CodecKind::kLotEcc5Rs16: return "lotecc5_rs16";
+  }
+  return "?";
+}
+
+class CodecLinearityTest : public ::testing::TestWithParam<CodecKind> {};
+
+TEST_P(CodecLinearityTest, CorrectionBitsOfZeroLineAreZero) {
+  const auto codec = build(GetParam());
+  const std::vector<std::uint8_t> zero(codec->data_bytes(), 0);
+  const auto corr = codec->correction_bits(zero);
+  for (auto b : corr) EXPECT_EQ(b, 0);
+}
+
+TEST_P(CodecLinearityTest, CorrectionBitsAreLinear) {
+  const auto codec = build(GetParam());
+  Rng rng(900);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> a(codec->data_bytes());
+    std::vector<std::uint8_t> b(codec->data_bytes());
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng.next_below(256));
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng.next_below(256));
+    std::vector<std::uint8_t> ab(codec->data_bytes());
+    for (unsigned i = 0; i < codec->data_bytes(); ++i) {
+      ab[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+    }
+    const auto ca = codec->correction_bits(a);
+    const auto cb = codec->correction_bits(b);
+    const auto cab = codec->correction_bits(ab);
+    for (unsigned i = 0; i < codec->correction_bytes(); ++i) {
+      ASSERT_EQ(cab[i], ca[i] ^ cb[i])
+          << kind_name(GetParam()) << " byte " << i;
+    }
+  }
+}
+
+TEST_P(CodecLinearityTest, Eq1IncrementalUpdateMatchesRecompute) {
+  // Simulate Eq. 1 over a 3-member parity group: incremental updates must
+  // track the from-scratch XOR exactly.
+  const auto codec = build(GetParam());
+  Rng rng(901);
+  const unsigned members = 3;
+  std::vector<std::vector<std::uint8_t>> lines(
+      members, std::vector<std::uint8_t>(codec->data_bytes(), 0));
+  std::vector<std::uint8_t> parity(codec->correction_bytes(), 0);
+  for (int step = 0; step < 60; ++step) {
+    const unsigned m = static_cast<unsigned>(rng.next_below(members));
+    std::vector<std::uint8_t> next(codec->data_bytes());
+    for (auto& v : next) v = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto old_corr = codec->correction_bits(lines[m]);
+    const auto new_corr = codec->correction_bits(next);
+    for (unsigned i = 0; i < parity.size(); ++i) {
+      parity[i] ^= old_corr[i] ^ new_corr[i];  // Eq. 1
+    }
+    lines[m] = std::move(next);
+    // Recompute from scratch and compare.
+    std::vector<std::uint8_t> expect(codec->correction_bytes(), 0);
+    for (const auto& line : lines) {
+      const auto c = codec->correction_bits(line);
+      for (unsigned i = 0; i < expect.size(); ++i) expect[i] ^= c[i];
+    }
+    ASSERT_EQ(parity, expect) << kind_name(GetParam()) << " step " << step;
+  }
+}
+
+TEST_P(CodecLinearityTest, ReconstructionByCancellation) {
+  // The Sec. III-A reconstruction: XOR the parity with the other members'
+  // correction bits and you get the missing member's correction bits.
+  const auto codec = build(GetParam());
+  Rng rng(902);
+  const unsigned members = 5;
+  std::vector<std::vector<std::uint8_t>> lines;
+  std::vector<std::uint8_t> parity(codec->correction_bytes(), 0);
+  for (unsigned m = 0; m < members; ++m) {
+    std::vector<std::uint8_t> line(codec->data_bytes());
+    for (auto& v : line) v = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = codec->correction_bits(line);
+    for (unsigned i = 0; i < parity.size(); ++i) parity[i] ^= c[i];
+    lines.push_back(std::move(line));
+  }
+  for (unsigned missing = 0; missing < members; ++missing) {
+    std::vector<std::uint8_t> rebuilt = parity;
+    for (unsigned m = 0; m < members; ++m) {
+      if (m == missing) continue;
+      const auto c = codec->correction_bits(lines[m]);
+      for (unsigned i = 0; i < rebuilt.size(); ++i) rebuilt[i] ^= c[i];
+    }
+    EXPECT_EQ(rebuilt, codec->correction_bits(lines[missing]))
+        << kind_name(GetParam()) << " member " << missing;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorrectionCodecs, CodecLinearityTest,
+    ::testing::Values(CodecKind::kChipkill36, CodecKind::kLotEcc5,
+                      CodecKind::kLotEcc9, CodecKind::kRaim,
+                      CodecKind::kRaimParity, CodecKind::kLotEcc5Rs16),
+    [](const ::testing::TestParamInfo<CodecKind>& info) {
+      return kind_name(info.param);
+    });
+
+}  // namespace
+}  // namespace eccsim::ecc

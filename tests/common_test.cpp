@@ -1,0 +1,199 @@
+// Tests for the common utilities: RNG determinism and distributions,
+// streaming statistics, histograms, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace eccsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RNG
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  bool differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRangeAndUnbiasedish) {
+  Rng rng(7);
+  std::vector<unsigned> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(Rng, NextBelowEdgeCases) {
+  Rng rng(8);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(10);
+  const double rate = 0.25;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 1.0 / rate * 0.02);
+}
+
+TEST(Rng, JumpedStreamsDiffer) {
+  Rng base(11);
+  Rng s0 = base.substream(0);
+  Rng s1 = base.substream(1);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.next() != s1.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+TEST(RunningStat, MeanVarMinMax) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsCombined) {
+  RunningStat a, b, all;
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(SampleSet, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, PercentileAfterMoreSamples) {
+  SampleSet s;
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 5.0);
+  s.add(50);
+  s.add(500);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 500.0);  // sorted cache invalidated
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-3);    // clamps to bin 0
+  h.add(42);    // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+  EXPECT_FALSE(h.ascii().empty());
+}
+
+TEST(Histogram, RejectsBadConfig) {
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1, 1, 4), std::invalid_argument);
+}
+
+TEST(Stats, GeomeanAndMean) {
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_THROW(geomean({1.0, -2.0}), std::invalid_argument);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Table
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "long_header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide_cell", "x"});  // short row padded
+  const std::string s = t.str();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("wide_cell"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.125), "12.5%");
+  EXPECT_EQ(Table::pct(0.40625, 1), "40.6%");
+}
+
+// ---------------------------------------------------------------------------
+// Units
+
+TEST(Units, FitConversions) {
+  EXPECT_DOUBLE_EQ(units::fit_to_per_hour(44.0), 44e-9);
+  // 288 chips at 44 FIT: ~78,914 hours MTBF.
+  EXPECT_NEAR(units::mtbf_hours(44.0, 288), 78914, 1.0);
+}
+
+TEST(Units, PicojouleIdentity) {
+  // 100 mA * 1.5 V * 10 ns = 1500 pJ.
+  EXPECT_DOUBLE_EQ(units::picojoules(100, 1.5, 10), 1500.0);
+}
+
+}  // namespace
+}  // namespace eccsim

@@ -1,0 +1,286 @@
+// Functional tests for the per-scheme line codecs: encode, detect, correct
+// against injected chip failures, and the detection/correction bit split
+// that ECC Parity builds on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ecc/codec.hpp"
+#include "ecc/multiecc.hpp"
+
+namespace eccsim::ecc {
+namespace {
+
+std::vector<std::uint8_t> random_line(Rng& rng, unsigned bytes) {
+  std::vector<std::uint8_t> line(bytes);
+  for (auto& b : line) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return line;
+}
+
+/// Corrupts every byte of `chip`'s share of the data line.
+void kill_chip(const LineCodec& codec, std::vector<std::uint8_t>& data,
+               unsigned chip, Rng& rng) {
+  for (unsigned off : codec.chip_data_offsets(chip)) {
+    data[off] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized across every per-line codec scheme.
+
+class CodecParamTest : public ::testing::TestWithParam<SchemeId> {};
+
+TEST_P(CodecParamTest, CleanLinePassesDetection) {
+  const auto codec = make_codec(GetParam());
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const auto data = random_line(rng, codec->data_bytes());
+    const auto det = codec->detection_bits(data);
+    EXPECT_EQ(det.size(), codec->detection_bytes());
+    EXPECT_FALSE(codec->detect(data, det));
+  }
+}
+
+TEST_P(CodecParamTest, SingleChipFailureIsDetected) {
+  const auto codec = make_codec(GetParam());
+  Rng rng(12);
+  for (unsigned chip = 0; chip < codec->chips(); ++chip) {
+    if (codec->chip_data_offsets(chip).empty()) continue;  // ECC-only chip
+    auto data = random_line(rng, codec->data_bytes());
+    const auto det = codec->detection_bits(data);
+    kill_chip(*codec, data, chip, rng);
+    EXPECT_TRUE(codec->detect(data, det)) << "chip " << chip;
+  }
+}
+
+TEST_P(CodecParamTest, SingleChipFailureIsCorrected) {
+  const auto codec = make_codec(GetParam());
+  Rng rng(13);
+  for (unsigned chip = 0; chip < codec->chips(); ++chip) {
+    if (codec->chip_data_offsets(chip).empty()) continue;
+    auto data = random_line(rng, codec->data_bytes());
+    const auto orig = data;
+    const auto det = codec->detection_bits(data);
+    const auto corr = codec->correction_bits(data);
+    kill_chip(*codec, data, chip, rng);
+    const CodecResult r = codec->correct(data, det, corr);
+    ASSERT_TRUE(r.ok) << "chip " << chip;
+    EXPECT_TRUE(r.detected);
+    EXPECT_EQ(data, orig);
+  }
+}
+
+TEST_P(CodecParamTest, CorrectOnCleanLineIsNoop) {
+  const auto codec = make_codec(GetParam());
+  Rng rng(14);
+  auto data = random_line(rng, codec->data_bytes());
+  const auto orig = data;
+  const auto det = codec->detection_bits(data);
+  const auto corr = codec->correction_bits(data);
+  const CodecResult r = codec->correct(data, det, corr);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.detected);
+  EXPECT_EQ(data, orig);
+}
+
+TEST_P(CodecParamTest, ErasureHintCorrects) {
+  const auto codec = make_codec(GetParam());
+  Rng rng(15);
+  unsigned chip = 0;
+  while (codec->chip_data_offsets(chip).empty()) ++chip;
+  auto data = random_line(rng, codec->data_bytes());
+  const auto orig = data;
+  const auto det = codec->detection_bits(data);
+  const auto corr = codec->correction_bits(data);
+  kill_chip(*codec, data, chip, rng);
+  const unsigned bad[] = {chip};
+  const CodecResult r = codec->correct(data, det, corr, bad);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(data, orig);
+}
+
+TEST_P(CodecParamTest, CorrectionBitSizesMatchScheme) {
+  const SchemeId id = GetParam();
+  const auto codec = make_codec(id);
+  const auto desc = make_scheme(id, SystemScale::kQuadEquivalent);
+  // correction_ratio * data_bytes must equal the codec's correction bytes.
+  // Classic RAIM's ratio (9/32 chips) additionally counts the parity
+  // DIMM's own detection chip: 36B stored = 32B XOR payload + 4B checks.
+  double expected = desc.correction_ratio * codec->data_bytes();
+  if (id == SchemeId::kRaim) expected /= 1.125;
+  EXPECT_NEAR(expected, static_cast<double>(codec->correction_bytes()), 1e-9)
+      << to_string(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPerLineCodecs, CodecParamTest,
+    ::testing::Values(SchemeId::kChipkill36, SchemeId::kChipkill18,
+                      SchemeId::kLotEcc5, SchemeId::kLotEcc9,
+                      SchemeId::kRaim, SchemeId::kRaimParity),
+    [](const ::testing::TestParamInfo<SchemeId>& info) {
+      std::string n = to_string(info.param);
+      for (auto& c : n) {
+        if (c == '+') c = '_';
+      }
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Scheme-specific behavior.
+
+TEST(Chipkill36, DetectsDoubleChipFailure) {
+  const auto codec = make_codec(SchemeId::kChipkill36);
+  Rng rng(16);
+  auto data = random_line(rng, 128);
+  const auto det = codec->detection_bits(data);
+  kill_chip(*codec, data, 3, rng);
+  kill_chip(*codec, data, 17, rng);
+  EXPECT_TRUE(codec->detect(data, det));
+}
+
+TEST(Chipkill36, CorrectsTwoChipErasures) {
+  // With both failed chips known (erasures), the RS(36,34) word per the
+  // correction code has 2 checks: 2 erasures are correctable.
+  const auto codec = make_codec(SchemeId::kChipkill36);
+  Rng rng(17);
+  auto data = random_line(rng, 128);
+  const auto orig = data;
+  const auto det = codec->detection_bits(data);
+  const auto corr = codec->correction_bits(data);
+  kill_chip(*codec, data, 3, rng);
+  kill_chip(*codec, data, 17, rng);
+  const unsigned bad[] = {3u, 17u};
+  const CodecResult r = codec->correct(data, det, corr, bad);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(data, orig);
+}
+
+TEST(Chipkill18, HasNoSeparableCorrectionBits) {
+  const auto codec = make_codec(SchemeId::kChipkill18);
+  EXPECT_EQ(codec->correction_bytes(), 0u);
+  // ECC Parity therefore cannot apply (Sec. IV-A): R == 0.
+  const auto desc = make_scheme(SchemeId::kChipkill18,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_DOUBLE_EQ(desc.correction_ratio, 0.0);
+}
+
+TEST(LotEcc5, TwoChipFailureIsDetectedButNotCorrected) {
+  const auto codec = make_codec(SchemeId::kLotEcc5);
+  Rng rng(18);
+  auto data = random_line(rng, 64);
+  const auto det = codec->detection_bits(data);
+  const auto corr = codec->correction_bits(data);
+  kill_chip(*codec, data, 0, rng);
+  kill_chip(*codec, data, 2, rng);
+  EXPECT_TRUE(codec->detect(data, det));
+  const CodecResult r = codec->correct(data, det, corr);
+  EXPECT_FALSE(r.ok);  // tier 2 XOR is single-erasure only
+}
+
+TEST(LotEcc5, CorrectionBitsAreXorOfShares) {
+  const auto codec = make_codec(SchemeId::kLotEcc5);
+  Rng rng(19);
+  const auto data = random_line(rng, 64);
+  const auto corr = codec->correction_bits(data);
+  ASSERT_EQ(corr.size(), 16u);
+  for (unsigned b = 0; b < 16; ++b) {
+    const std::uint8_t expect = static_cast<std::uint8_t>(
+        data[b] ^ data[16 + b] ^ data[32 + b] ^ data[48 + b]);
+    EXPECT_EQ(corr[b], expect);
+  }
+}
+
+TEST(Raim, SurvivesFullDimmLoss) {
+  const auto codec = make_codec(SchemeId::kRaim);
+  Rng rng(20);
+  for (unsigned dimm = 0; dimm < 4; ++dimm) {
+    auto data = random_line(rng, 128);
+    const auto orig = data;
+    const auto det = codec->detection_bits(data);
+    const auto corr = codec->correction_bits(data);
+    kill_chip(*codec, data, dimm, rng);  // chip == DIMM granularity here
+    const CodecResult r = codec->correct(data, det, corr);
+    ASSERT_TRUE(r.ok) << "dimm " << dimm;
+    EXPECT_EQ(data, orig);
+  }
+}
+
+TEST(Raim, TwoDimmLossUncorrectable) {
+  const auto codec = make_codec(SchemeId::kRaim);
+  Rng rng(21);
+  auto data = random_line(rng, 128);
+  const auto det = codec->detection_bits(data);
+  const auto corr = codec->correction_bits(data);
+  kill_chip(*codec, data, 0, rng);
+  kill_chip(*codec, data, 2, rng);
+  EXPECT_FALSE(codec->correct(data, det, corr).ok);
+}
+
+TEST(MakeCodec, MultiEccThrows) {
+  EXPECT_THROW(make_codec(SchemeId::kMultiEcc), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-ECC group codec.
+
+TEST(MultiEcc, GroupRoundTrip) {
+  MultiEccGroupCodec codec(8, 8);
+  Rng rng(22);
+  std::vector<std::vector<std::uint8_t>> group;
+  std::vector<std::vector<std::uint8_t>> dets;
+  for (unsigned i = 0; i < 8; ++i) {
+    group.push_back(random_line(rng, 64));
+    dets.push_back(codec.detection_bits(group.back()));
+  }
+  auto corr = codec.correction_line(group);
+  const auto orig = group[3];
+  // Kill chip 5 of member 3.
+  for (unsigned b = 0; b < 8; ++b) {
+    group[3][5 * 8 + b] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+  }
+  const auto located = codec.locate(group[3], dets[3]);
+  ASSERT_EQ(located.size(), 1u);
+  EXPECT_EQ(located[0], 5u);
+  ASSERT_TRUE(codec.correct_member(group, dets, corr, 3, 5));
+  EXPECT_EQ(group[3], orig);
+}
+
+TEST(MultiEcc, IncrementalUpdateMatchesRebuild) {
+  MultiEccGroupCodec codec(4, 8);
+  Rng rng(23);
+  std::vector<std::vector<std::uint8_t>> group;
+  for (unsigned i = 0; i < 4; ++i) group.push_back(random_line(rng, 64));
+  auto corr = codec.correction_line(group);
+  const auto old_line = group[2];
+  group[2] = random_line(rng, 64);
+  codec.update_correction_line(corr, old_line, group[2]);
+  EXPECT_EQ(corr, codec.correction_line(group));
+}
+
+TEST(MultiEcc, RefusesWhenSecondMemberCorrupt) {
+  MultiEccGroupCodec codec(4, 8);
+  Rng rng(24);
+  std::vector<std::vector<std::uint8_t>> group;
+  std::vector<std::vector<std::uint8_t>> dets;
+  for (unsigned i = 0; i < 4; ++i) {
+    group.push_back(random_line(rng, 64));
+    dets.push_back(codec.detection_bits(group.back()));
+  }
+  const auto corr = codec.correction_line(group);
+  group[0][0] ^= 0xFF;
+  group[1][0] ^= 0xFF;
+  EXPECT_FALSE(codec.correct_member(group, dets, corr, 0, 0));
+}
+
+TEST(MultiEcc, DetectionBytesMatchOverheadStory) {
+  // One checksum byte per chip per 64B line = 12.5% detection overhead.
+  MultiEccGroupCodec codec;
+  EXPECT_EQ(codec.detection_bytes_per_line(), 8u);
+  EXPECT_EQ(codec.group_lines(), 256u);  // ~0.4% correction overhead
+}
+
+}  // namespace
+}  // namespace eccsim::ecc

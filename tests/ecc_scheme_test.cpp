@@ -1,0 +1,216 @@
+// Tests for the ECC scheme descriptors: Table II organizations, Fig. 1 /
+// Table III capacity overheads, and the equal-capacity/equal-pins
+// invariants the paper's methodology relies on.
+#include <gtest/gtest.h>
+
+#include "ecc/scheme.hpp"
+
+namespace eccsim::ecc {
+namespace {
+
+TEST(SchemeDesc, TableII_RankOrganizations) {
+  const auto ck36 = make_scheme(SchemeId::kChipkill36,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_EQ(ck36.chips_per_rank, 36u);
+  EXPECT_EQ(ck36.line_bytes, 128u);
+  EXPECT_EQ(ck36.ranks_per_channel, 1u);
+  EXPECT_EQ(ck36.channels, 4u);
+
+  const auto ck18 = make_scheme(SchemeId::kChipkill18,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_EQ(ck18.chips_per_rank, 18u);
+  EXPECT_EQ(ck18.line_bytes, 64u);
+  EXPECT_EQ(ck18.channels, 8u);
+
+  const auto lot5 = make_scheme(SchemeId::kLotEcc5,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_EQ(lot5.chips_per_rank, 5u);
+  EXPECT_EQ(lot5.ranks_per_channel, 4u);
+  EXPECT_EQ(lot5.channels, 8u);
+  EXPECT_TRUE(lot5.mixed_rank);
+
+  const auto lot9 = make_scheme(SchemeId::kLotEcc9,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_EQ(lot9.chips_per_rank, 9u);
+  EXPECT_EQ(lot9.ranks_per_channel, 2u);
+
+  const auto raim = make_scheme(SchemeId::kRaim, SystemScale::kQuadEquivalent);
+  EXPECT_EQ(raim.chips_per_rank, 45u);
+  EXPECT_EQ(raim.line_bytes, 128u);
+  EXPECT_EQ(raim.channels, 4u);
+
+  const auto raimp = make_scheme(SchemeId::kRaimParity,
+                                 SystemScale::kQuadEquivalent);
+  EXPECT_EQ(raimp.chips_per_rank, 18u);
+  EXPECT_EQ(raimp.line_bytes, 64u);
+  EXPECT_EQ(raimp.channels, 10u);
+}
+
+TEST(SchemeDesc, TableII_PinCounts) {
+  // Chipkill family: 576 pins at quad scale, 288 at dual.
+  for (auto id : chipkill_family()) {
+    EXPECT_EQ(make_scheme(id, SystemScale::kQuadEquivalent).io_pins(), 576u)
+        << to_string(id);
+    EXPECT_EQ(make_scheme(id, SystemScale::kDualEquivalent).io_pins(), 288u)
+        << to_string(id);
+  }
+  // RAIM family: 720 / 360.
+  for (auto id : {SchemeId::kRaim, SchemeId::kRaimParity}) {
+    EXPECT_EQ(make_scheme(id, SystemScale::kQuadEquivalent).io_pins(), 720u)
+        << to_string(id);
+    EXPECT_EQ(make_scheme(id, SystemScale::kDualEquivalent).io_pins(), 360u)
+        << to_string(id);
+  }
+}
+
+TEST(SchemeDesc, EqualDataCapacityWithinChipkillFamily) {
+  // Sec. IV-B: all chipkill-class systems are configured to equal physical
+  // capacity; their data capacity is 32 GiB at quad scale.
+  for (auto id : chipkill_family()) {
+    const auto d = make_scheme(id, SystemScale::kQuadEquivalent);
+    EXPECT_EQ(d.mem_config().data_capacity_bytes(),
+              32ULL * 1024 * 1024 * 1024)
+        << to_string(id);
+  }
+}
+
+TEST(SchemeDesc, Fig1_CapacityBreakdown) {
+  // Fig. 1: detection vs correction split of each ECC's overhead.
+  const auto ck36 = make_scheme(SchemeId::kChipkill36,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_DOUBLE_EQ(ck36.detection_overhead, 0.0625);
+  EXPECT_DOUBLE_EQ(ck36.correction_ratio, 0.0625);
+  EXPECT_NEAR(ck36.capacity_overhead(), 0.125, 1e-9);
+
+  const auto lot9 = make_scheme(SchemeId::kLotEcc9,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_NEAR(lot9.capacity_overhead(), 0.265625, 1e-9);  // paper: 26.5%
+
+  const auto lot5 = make_scheme(SchemeId::kLotEcc5,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_NEAR(lot5.capacity_overhead(), 0.40625, 1e-9);   // paper: 40.6%
+
+  const auto multi = make_scheme(SchemeId::kMultiEcc,
+                                 SystemScale::kQuadEquivalent);
+  EXPECT_NEAR(multi.capacity_overhead(), 0.1294, 5e-4);   // paper: 12.9%
+
+  const auto raim = make_scheme(SchemeId::kRaim, SystemScale::kQuadEquivalent);
+  EXPECT_NEAR(raim.capacity_overhead(), 0.40625, 1e-9);   // paper: 40.6%
+}
+
+TEST(SchemeDesc, TableIII_ParityOverheads) {
+  // 8-channel LOT-ECC5 + ECC Parity: 16.5%.
+  const auto lot5p8 = make_scheme(SchemeId::kLotEcc5Parity,
+                                  SystemScale::kQuadEquivalent);
+  ASSERT_EQ(lot5p8.channels, 8u);
+  EXPECT_NEAR(lot5p8.capacity_overhead(), 0.1652, 5e-4);
+
+  // 4-channel LOT-ECC5 + ECC Parity: 21.9%.
+  const auto lot5p4 = make_scheme(SchemeId::kLotEcc5Parity,
+                                  SystemScale::kDualEquivalent);
+  ASSERT_EQ(lot5p4.channels, 4u);
+  EXPECT_NEAR(lot5p4.capacity_overhead(), 0.21875, 5e-4);
+
+  // 10-channel RAIM + ECC Parity: 18.8%.
+  const auto raimp10 = make_scheme(SchemeId::kRaimParity,
+                                   SystemScale::kQuadEquivalent);
+  ASSERT_EQ(raimp10.channels, 10u);
+  EXPECT_NEAR(raimp10.capacity_overhead(), 0.1875, 5e-4);
+
+  // 5-channel RAIM + ECC Parity: 26.6%.
+  const auto raimp5 = make_scheme(SchemeId::kRaimParity,
+                                  SystemScale::kDualEquivalent);
+  ASSERT_EQ(raimp5.channels, 5u);
+  EXPECT_NEAR(raimp5.capacity_overhead(), 0.265625, 5e-4);
+}
+
+TEST(SchemeDesc, EolOverheadGrowsWithFaultyFraction) {
+  const auto d = make_scheme(SchemeId::kLotEcc5Parity,
+                             SystemScale::kQuadEquivalent);
+  const double healthy = d.capacity_overhead_eol(0.0);
+  const double eol = d.capacity_overhead_eol(0.004);  // Fig. 8 average
+  EXPECT_NEAR(healthy, d.capacity_overhead(), 1e-12);
+  EXPECT_GT(eol, healthy);
+  // Paper Table III: 16.5% -> EOL avg 16.7%: roughly +0.2%.
+  EXPECT_NEAR(eol - healthy, 0.002, 0.002);
+}
+
+TEST(SchemeDesc, EolOverheadConstantForBaselines) {
+  const auto d = make_scheme(SchemeId::kLotEcc9, SystemScale::kQuadEquivalent);
+  EXPECT_DOUBLE_EQ(d.capacity_overhead_eol(0.01), d.capacity_overhead());
+}
+
+TEST(SchemeDesc, ParityXorCoverageScalesWithChannels) {
+  const auto quad = make_scheme(SchemeId::kLotEcc5Parity,
+                                SystemScale::kQuadEquivalent);
+  const auto dual = make_scheme(SchemeId::kLotEcc5Parity,
+                                SystemScale::kDualEquivalent);
+  EXPECT_EQ(quad.ecc_line_coverage, 4u * 7);   // 8 channels: 4*(N-1)
+  EXPECT_EQ(dual.ecc_line_coverage, 4u * 3);   // 4 channels
+  // Sec. V-D: fewer channels -> fewer lines per XOR line -> higher miss
+  // rate; the descriptor must encode that.
+  EXPECT_GT(quad.ecc_line_coverage, dual.ecc_line_coverage);
+}
+
+TEST(SchemeDesc, MaintenanceTrafficKinds) {
+  EXPECT_EQ(make_scheme(SchemeId::kChipkill36, SystemScale::kQuadEquivalent)
+                .maint,
+            MaintTraffic::kNone);
+  EXPECT_EQ(make_scheme(SchemeId::kLotEcc9, SystemScale::kQuadEquivalent)
+                .maint,
+            MaintTraffic::kWriteOnEvict);
+  EXPECT_EQ(make_scheme(SchemeId::kMultiEcc, SystemScale::kQuadEquivalent)
+                .maint,
+            MaintTraffic::kReadWriteOnEvict);
+  EXPECT_EQ(make_scheme(SchemeId::kLotEcc5Parity,
+                        SystemScale::kQuadEquivalent)
+                .maint,
+            MaintTraffic::kReadWriteOnEvict);
+}
+
+TEST(SchemeDesc, MemConfigChipsAndDevice) {
+  const auto lot5 = make_scheme(SchemeId::kLotEcc5,
+                                SystemScale::kQuadEquivalent);
+  const auto cfg = lot5.mem_config();
+  EXPECT_EQ(cfg.chips_per_rank, 5u);
+  EXPECT_EQ(cfg.data_chips_per_rank, 4u);
+  // Mixed rank blends down the per-chip currents: energy per chip must be
+  // below a plain x16.
+  const auto x16 = dram::micron_2gb(dram::DeviceWidth::kX16);
+  EXPECT_LT(cfg.device.energy.rd_burst_pj, x16.energy.rd_burst_pj);
+
+  const auto ck36 = make_scheme(SchemeId::kChipkill36,
+                                SystemScale::kQuadEquivalent);
+  EXPECT_EQ(ck36.mem_config().device.width, dram::DeviceWidth::kX4);
+}
+
+TEST(SchemeDesc, AllSchemesEnumerated) {
+  EXPECT_EQ(all_schemes().size(), 8u);
+  for (auto id : all_schemes()) {
+    EXPECT_FALSE(to_string(id).empty());
+    // Descriptors must construct at both scales without throwing.
+    (void)make_scheme(id, SystemScale::kDualEquivalent);
+    (void)make_scheme(id, SystemScale::kQuadEquivalent);
+  }
+}
+
+TEST(SchemeDesc, RankAccessEnergyOrdering) {
+  // The core energy claim: energy per access follows chip count.
+  auto rank_access_pj = [](SchemeId id) {
+    const auto d = make_scheme(id, SystemScale::kQuadEquivalent);
+    const auto cfg = d.mem_config();
+    const auto& e = cfg.device.energy;
+    return (e.act_pj + e.rd_burst_pj) * cfg.chips_per_rank;
+  };
+  EXPECT_GT(rank_access_pj(SchemeId::kRaim),
+            rank_access_pj(SchemeId::kChipkill36));
+  EXPECT_GT(rank_access_pj(SchemeId::kChipkill36),
+            rank_access_pj(SchemeId::kChipkill18));
+  EXPECT_GT(rank_access_pj(SchemeId::kChipkill18),
+            rank_access_pj(SchemeId::kLotEcc9));
+  EXPECT_GT(rank_access_pj(SchemeId::kLotEcc9),
+            rank_access_pj(SchemeId::kLotEcc5));
+}
+
+}  // namespace
+}  // namespace eccsim::ecc

@@ -1,0 +1,139 @@
+// Unit tests for the bank-pair health table (Sec. III-B/C/E) and the
+// sparse memory image.
+#include <gtest/gtest.h>
+
+#include "ecc/memory_image.hpp"
+#include "eccparity/health.hpp"
+
+namespace eccsim::eccparity {
+namespace {
+
+dram::DramAddress addr(std::uint32_t ch, std::uint32_t rank,
+                       std::uint32_t bank) {
+  return dram::DramAddress{ch, rank, bank, 0, 0};
+}
+
+TEST(BankHealthTable, PairsShareBanksTwoByTwo) {
+  const auto p0 = BankHealthTable::pair_of(addr(0, 0, 0));
+  const auto p1 = BankHealthTable::pair_of(addr(0, 0, 1));
+  const auto p2 = BankHealthTable::pair_of(addr(0, 0, 2));
+  EXPECT_EQ(p0, p1);  // banks 0 and 1 form one pair
+  EXPECT_NE(p0, p2);
+}
+
+TEST(BankHealthTable, PairsDistinctAcrossChannelsAndRanks) {
+  const auto a = BankHealthTable::pair_of(addr(0, 0, 0));
+  const auto b = BankHealthTable::pair_of(addr(1, 0, 0));
+  const auto c = BankHealthTable::pair_of(addr(0, 1, 0));
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_NE(b.key(), c.key());
+}
+
+TEST(BankHealthTable, ThresholdSaturation) {
+  BankHealthTable t(4);
+  const auto a = addr(2, 1, 6);
+  EXPECT_FALSE(t.is_faulty(a));
+  EXPECT_EQ(t.record_error(a), ErrorAction::kRetirePage);
+  EXPECT_EQ(t.record_error(a), ErrorAction::kRetirePage);
+  EXPECT_EQ(t.record_error(a), ErrorAction::kRetirePage);
+  EXPECT_EQ(t.record_error(a), ErrorAction::kMarkFaulty);
+  EXPECT_TRUE(t.is_faulty(a));
+  EXPECT_EQ(t.record_error(a), ErrorAction::kAlreadyFaulty);
+  EXPECT_EQ(t.faulty_pairs(), 1u);
+}
+
+TEST(BankHealthTable, ErrorsInPartnerBankShareCounter) {
+  // Errors in banks 4 and 5 (one pair) accumulate together (Sec. III-B:
+  // "the combined number of errors encountered in a pair of banks").
+  BankHealthTable t(2);
+  EXPECT_EQ(t.record_error(addr(0, 0, 4)), ErrorAction::kRetirePage);
+  EXPECT_EQ(t.record_error(addr(0, 0, 5)), ErrorAction::kMarkFaulty);
+}
+
+TEST(BankHealthTable, IndependentCountersPerPair) {
+  BankHealthTable t(2);
+  t.record_error(addr(0, 0, 0));
+  t.record_error(addr(1, 0, 0));
+  EXPECT_EQ(t.faulty_pairs(), 0u);  // one error each: nobody saturated
+  EXPECT_EQ(t.error_count(BankHealthTable::pair_of(addr(0, 0, 0))), 1u);
+}
+
+TEST(BankHealthTable, DirectMarking) {
+  BankHealthTable t(4);
+  t.mark_faulty(BankHealthTable::pair_of(addr(3, 2, 7)));
+  EXPECT_TRUE(t.is_faulty(addr(3, 2, 6)));  // partner bank of the pair
+  EXPECT_TRUE(t.is_faulty(addr(3, 2, 7)));
+  EXPECT_FALSE(t.is_faulty(addr(3, 2, 5)));
+}
+
+TEST(BankHealthTable, SramBudgetMatchesPaper) {
+  // Sec. III-E: 512 B for a 1024-bank (512 GB) system.
+  EXPECT_DOUBLE_EQ(BankHealthTable::sram_bytes(1024), 512.0);
+}
+
+}  // namespace
+}  // namespace eccsim::eccparity
+
+namespace eccsim::ecc {
+namespace {
+
+TEST(MemoryImage, UntouchedLinesReadZero) {
+  MemoryImage img(64);
+  const auto view = img.read(12345);
+  ASSERT_EQ(view.size(), 64u);
+  for (auto b : view) EXPECT_EQ(b, 0);
+  EXPECT_FALSE(img.touched(12345));
+  EXPECT_EQ(img.touched_lines(), 0u);
+}
+
+TEST(MemoryImage, WriteReadRoundTrip) {
+  MemoryImage img(64);
+  std::vector<std::uint8_t> v(64);
+  for (unsigned i = 0; i < 64; ++i) v[i] = static_cast<std::uint8_t>(i * 3);
+  img.write(7, v);
+  EXPECT_TRUE(img.touched(7));
+  const auto view = img.read(7);
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), v.begin()));
+}
+
+TEST(MemoryImage, XorIntoComposes) {
+  MemoryImage img(8);
+  const std::vector<std::uint8_t> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::uint8_t> b{8, 7, 6, 5, 4, 3, 2, 1};
+  img.xor_into(0, a);
+  img.xor_into(0, b);
+  const auto view = img.read(0);
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(view[i], a[i] ^ b[i]);
+  img.xor_into(0, a);
+  img.xor_into(0, b);
+  for (auto byte : img.read(0)) EXPECT_EQ(byte, 0);  // self-inverse
+}
+
+TEST(MemoryImage, ForEachVisitsAllTouched) {
+  MemoryImage img(16);
+  img.line(1);
+  img.line(5);
+  img.line(9);
+  unsigned visits = 0;
+  std::uint64_t sum = 0;
+  img.for_each([&](std::uint64_t idx, const std::vector<std::uint8_t>&) {
+    ++visits;
+    sum += idx;
+  });
+  EXPECT_EQ(visits, 3u);
+  EXPECT_EQ(sum, 15u);
+}
+
+TEST(MemoryImage, ShortWritePadsToLineSize) {
+  MemoryImage img(16);
+  const std::vector<std::uint8_t> half{1, 2, 3, 4, 5, 6, 7, 8};
+  img.write(0, half);
+  const auto view = img.read(0);
+  ASSERT_EQ(view.size(), 16u);
+  EXPECT_EQ(view[7], 8);
+  EXPECT_EQ(view[8], 0);
+}
+
+}  // namespace
+}  // namespace eccsim::ecc

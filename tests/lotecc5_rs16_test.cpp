@@ -1,0 +1,143 @@
+// Tests for the Sec. VI-D modified LOT-ECC5 encoding: inter-chip RS
+// detection (address-error coverage), chip-kill erasure correction, and
+// capacity parity with plain LOT-ECC5.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/codec.hpp"
+#include "ecc/lotecc5_rs16.hpp"
+
+namespace eccsim::ecc {
+namespace {
+
+std::vector<std::uint8_t> random_line(Rng& rng) {
+  std::vector<std::uint8_t> v(64);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return v;
+}
+
+TEST(LotEcc5Rs16, SameCapacityAsPlainLotEcc5) {
+  const auto rs16 = make_lotecc5_rs16_codec();
+  const auto plain = make_codec(SchemeId::kLotEcc5);
+  EXPECT_EQ(rs16->detection_bytes(), plain->detection_bytes());
+  EXPECT_EQ(rs16->correction_bytes(), plain->correction_bytes());
+  EXPECT_EQ(rs16->data_bytes(), plain->data_bytes());
+}
+
+TEST(LotEcc5Rs16, CleanLinePasses) {
+  const auto codec = make_lotecc5_rs16_codec();
+  Rng rng(61);
+  for (int i = 0; i < 50; ++i) {
+    const auto line = random_line(rng);
+    EXPECT_FALSE(codec->detect(line, codec->detection_bits(line)));
+  }
+}
+
+TEST(LotEcc5Rs16, CorrectsFullChipKill) {
+  const auto codec = make_lotecc5_rs16_codec();
+  Rng rng(62);
+  for (unsigned chip = 0; chip < 4; ++chip) {
+    auto line = random_line(rng);
+    const auto orig = line;
+    const auto det = codec->detection_bits(line);
+    const auto corr = codec->correction_bits(line);
+    for (unsigned off : codec->chip_data_offsets(chip)) {
+      line[off] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    const auto r = codec->correct(line, det, corr);
+    ASSERT_TRUE(r.ok) << "chip " << chip;
+    EXPECT_EQ(line, orig);
+  }
+}
+
+TEST(LotEcc5Rs16, DetectsAddressErrorPlainLotEccMisses) {
+  // The Sec. VI-D motivating case: a chip returns internally-consistent
+  // data belonging to a different address.  Model: replace chip 1's share
+  // of line A with its share of line B.  Plain LOT-ECC's intra-chip
+  // checksum travels *with* the share, so tier 1 sees nothing wrong when
+  // the checksum is fetched from the same wrong row -- here we conservatively
+  // test the data-share swap, which the intra-chip checksum of the share
+  // itself cannot flag if the swapped checksum comes along.  The RS16
+  // code's inter-chip check symbol, computed across chips, always fires.
+  const auto rs16 = make_lotecc5_rs16_codec();
+  Rng rng(63);
+  auto line_a = random_line(rng);
+  const auto line_b = random_line(rng);
+  const auto det_a = rs16->detection_bits(line_a);
+  // Swap chip 1's share: bytes [16, 32).
+  for (unsigned b = 16; b < 32; ++b) line_a[b] = line_b[b];
+  EXPECT_TRUE(rs16->detect(line_a, det_a))
+      << "inter-chip detection must catch the address error";
+}
+
+TEST(LotEcc5Rs16, CorrectsAddressErrorViaLocalization) {
+  // After detection fires, the intra-chip checksums stored in the
+  // correction bits localize the offending chip and erasure decoding
+  // restores the true data.
+  const auto codec = make_lotecc5_rs16_codec();
+  Rng rng(64);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const auto det = codec->detection_bits(line);
+  const auto corr = codec->correction_bits(line);
+  const auto other = random_line(rng);
+  for (unsigned b = 32; b < 48; ++b) line[b] = other[b];  // chip 2 swap
+  const auto r = codec->correct(line, det, corr);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(line, orig);
+  EXPECT_EQ(r.corrected_chips, 1u);
+}
+
+TEST(LotEcc5Rs16, TwoChipFailureRejected) {
+  const auto codec = make_lotecc5_rs16_codec();
+  Rng rng(65);
+  auto line = random_line(rng);
+  const auto det = codec->detection_bits(line);
+  const auto corr = codec->correction_bits(line);
+  line[0] ^= 0xFF;   // chip 0
+  line[20] ^= 0xFF;  // chip 1
+  EXPECT_FALSE(codec->correct(line, det, corr).ok);
+}
+
+TEST(LotEcc5Rs16, ErasureHintWorksWithoutChecksumMismatch) {
+  // A chip marked bad a priori (erasure) is honored even when the
+  // corruption happens to keep its intra-chip checksum valid.
+  const auto codec = make_lotecc5_rs16_codec();
+  Rng rng(66);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const auto det = codec->detection_bits(line);
+  const auto corr = codec->correction_bits(line);
+  for (unsigned off : codec->chip_data_offsets(3)) {
+    line[off] ^= 0x3C;
+  }
+  const unsigned bad[] = {3u};
+  const auto r = codec->correct(line, det, corr, bad);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(line, orig);
+}
+
+TEST(LotEcc5Rs16, SingleSymbolErrorCorrectedWithoutLocalization) {
+  // A small (word-level) error that does not trip any intra-chip checksum
+  // report still decodes through the unknown-error path (t = 1).
+  const auto codec = make_lotecc5_rs16_codec();
+  Rng rng(67);
+  auto line = random_line(rng);
+  const auto orig = line;
+  const auto det = codec->detection_bits(line);
+  auto corr = codec->correction_bits(line);
+  // Flip one 16-bit symbol (chip 0, word 0) AND patch the stored intra-chip
+  // checksum so localization stays silent -- the worst case for tier 1.
+  line[0] ^= 0x55;
+  line[1] ^= 0xAA;
+  const auto fresh = codec->correction_bits(line);
+  // Keep RS check symbols from the original, checksums from the corrupted
+  // view (checksum bytes are [8,16) of the correction bits).
+  for (unsigned i = 8; i < 16; ++i) corr[i] = fresh[i];
+  const auto r = codec->correct(line, det, corr);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(line, orig);
+}
+
+}  // namespace
+}  // namespace eccsim::ecc

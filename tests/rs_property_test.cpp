@@ -1,0 +1,146 @@
+// Property tests for the Reed-Solomon codec, parameterized over (n, k).
+//
+// The most load-bearing property for this repository is LINEARITY: the
+// parity of a sum is the sum of parities.  ECC Parity's entire mechanism
+// -- XORing correction bits across channels, the Eq. 1 incremental parity
+// update, reconstruction by cancellation -- is sound only because every
+// codec's correction bits are linear over GF(2).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gf/rs.hpp"
+
+namespace eccsim::gf {
+namespace {
+
+using Params = std::tuple<unsigned, unsigned>;  // (n, k)
+
+class RsPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  unsigned n() const { return std::get<0>(GetParam()); }
+  unsigned k() const { return std::get<1>(GetParam()); }
+  unsigned two_t() const { return n() - k(); }
+
+  std::vector<std::uint8_t> random_data(Rng& rng) const {
+    std::vector<std::uint8_t> d(k());
+    for (auto& b : d) b = static_cast<std::uint8_t>(rng.next_below(256));
+    return d;
+  }
+};
+
+TEST_P(RsPropertyTest, EncodeCheckRoundTrip) {
+  Rs8 rs(n(), k());
+  Rng rng(100 + n());
+  for (int i = 0; i < 50; ++i) {
+    const auto cw = rs.encode(random_data(rng));
+    EXPECT_TRUE(rs.check(cw));
+  }
+}
+
+TEST_P(RsPropertyTest, ParityIsLinear) {
+  // parity(a ^ b) == parity(a) ^ parity(b): the property Eq. 1 and the
+  // cross-channel XOR rely on.
+  Rs8 rs(n(), k());
+  Rng rng(200 + n());
+  for (int i = 0; i < 100; ++i) {
+    const auto a = random_data(rng);
+    const auto b = random_data(rng);
+    std::vector<std::uint8_t> ab(k());
+    for (unsigned j = 0; j < k(); ++j) {
+      ab[j] = static_cast<std::uint8_t>(a[j] ^ b[j]);
+    }
+    const auto pa = rs.parity(a);
+    const auto pb = rs.parity(b);
+    const auto pab = rs.parity(ab);
+    for (unsigned j = 0; j < two_t(); ++j) {
+      EXPECT_EQ(pab[j], pa[j] ^ pb[j]) << "n=" << n() << " k=" << k();
+    }
+  }
+}
+
+TEST_P(RsPropertyTest, CorrectsUpToTErrors) {
+  Rs8 rs(n(), k());
+  Rng rng(300 + n());
+  const unsigned t_max = two_t() / 2;
+  for (unsigned errs = 1; errs <= t_max; ++errs) {
+    for (int trial = 0; trial < 40; ++trial) {
+      auto cw = rs.encode(random_data(rng));
+      const auto orig = cw;
+      std::vector<unsigned> pos(n());
+      std::iota(pos.begin(), pos.end(), 0);
+      std::shuffle(pos.begin(), pos.end(), rng);
+      for (unsigned e = 0; e < errs; ++e) {
+        cw[pos[e]] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+      const auto res = rs.decode(cw);
+      ASSERT_TRUE(res.ok) << "errs=" << errs;
+      EXPECT_EQ(cw, orig);
+    }
+  }
+}
+
+TEST_P(RsPropertyTest, CorrectsMixedErrorsAndErasuresAtCapability) {
+  // Every (nu, e) with 2*nu + e == 2t must decode.
+  Rs8 rs(n(), k());
+  Rng rng(400 + n());
+  for (unsigned nu = 0; 2 * nu <= two_t(); ++nu) {
+    const unsigned e = two_t() - 2 * nu;
+    if (nu + e > n()) continue;
+    for (int trial = 0; trial < 25; ++trial) {
+      auto cw = rs.encode(random_data(rng));
+      const auto orig = cw;
+      std::vector<unsigned> pos(n());
+      std::iota(pos.begin(), pos.end(), 0);
+      std::shuffle(pos.begin(), pos.end(), rng);
+      std::vector<unsigned> erasures(pos.begin(), pos.begin() + e);
+      for (unsigned i = 0; i < e + nu; ++i) {
+        cw[pos[i]] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+      const auto res = rs.decode(cw, erasures);
+      ASSERT_TRUE(res.ok) << "nu=" << nu << " e=" << e;
+      EXPECT_EQ(cw, orig);
+    }
+  }
+}
+
+TEST_P(RsPropertyTest, DetectsUpTo2TErasureWorthOfKnownDamage) {
+  // Any corruption confined to <= 2t known positions is always repaired;
+  // syndromes of a corrupted word are never all-zero when damage stays
+  // within the code's minimum distance (2t+1 positions).
+  Rs8 rs(n(), k());
+  Rng rng(500 + n());
+  for (int trial = 0; trial < 60; ++trial) {
+    auto cw = rs.encode(random_data(rng));
+    const unsigned damage = 1 + static_cast<unsigned>(
+        rng.next_below(two_t()));
+    std::vector<unsigned> pos(n());
+    std::iota(pos.begin(), pos.end(), 0);
+    std::shuffle(pos.begin(), pos.end(), rng);
+    for (unsigned i = 0; i < damage; ++i) {
+      cw[pos[i]] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    EXPECT_FALSE(rs.check(cw)) << "damage=" << damage;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodeShapes, RsPropertyTest,
+    ::testing::Values(Params{36, 32},   // chipkill36's correction geometry
+                      Params{34, 32},   // chipkill36's detection geometry
+                      Params{18, 16},   // chipkill18
+                      Params{10, 8},    // Sec. VI-D (byte-symbol analogue)
+                      Params{255, 223}, // classic RS-255
+                      Params{15, 11},   // small odd shape
+                      Params{8, 4},     // high-redundancy
+                      Params{5, 1}),    // degenerate repetition-like
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace eccsim::gf

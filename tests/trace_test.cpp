@@ -1,0 +1,126 @@
+// Tests for the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workload.hpp"
+
+namespace eccsim::trace {
+namespace {
+
+TEST(Workloads, SixteenPaperWorkloads) {
+  const auto& all = paper_workloads();
+  EXPECT_EQ(all.size(), 16u);
+  unsigned bin1 = 0, bin2 = 0, mt = 0;
+  std::set<std::string> names;
+  for (const auto& w : all) {
+    EXPECT_TRUE(names.insert(w.name).second) << "duplicate " << w.name;
+    if (w.bin == 1) ++bin1;
+    if (w.bin == 2) ++bin2;
+    if (w.multithreaded) ++mt;
+  }
+  EXPECT_EQ(bin1, 8u);
+  EXPECT_EQ(bin2, 8u);
+  EXPECT_EQ(mt, 4u);  // the four PARSEC workloads
+}
+
+TEST(Workloads, LookupByName) {
+  EXPECT_EQ(workload_by_name("lbm").bin, 2);
+  EXPECT_EQ(workload_by_name("sjeng").bin, 1);
+  EXPECT_THROW(workload_by_name("doom"), std::out_of_range);
+}
+
+TEST(Workloads, Bin2HasHigherAccessRates) {
+  // Fig. 9: Bin2 workloads consume more bandwidth.  Every Bin2 APKI must
+  // exceed every Bin1 APKI in our calibration.
+  double min_bin2 = 1e9, max_bin1 = 0;
+  for (const auto& w : paper_workloads()) {
+    if (w.bin == 2) min_bin2 = std::min(min_bin2, w.apki);
+    else max_bin1 = std::max(max_bin1, w.apki);
+  }
+  EXPECT_GT(min_bin2, max_bin1);
+}
+
+TEST(CoreGenerator, GapMatchesApki) {
+  const auto& w = workload_by_name("lbm");
+  CoreGenerator gen(w, 0, 8, 42);
+  double gap_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) gap_sum += gen.next().gap;
+  const double mean_gap = gap_sum / n;
+  // mean gap ~ 1000/APKI (the +1 memory instruction is noise at this size).
+  EXPECT_NEAR(mean_gap, 1000.0 / w.apki, 1000.0 / w.apki * 0.1);
+}
+
+TEST(CoreGenerator, WriteFractionMatches) {
+  const auto& w = workload_by_name("milc");
+  CoreGenerator gen(w, 0, 8, 42);
+  int writes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) writes += gen.next().is_write;
+  EXPECT_NEAR(static_cast<double>(writes) / n, w.write_fraction, 0.02);
+}
+
+TEST(CoreGenerator, FootprintRespected) {
+  const auto& w = workload_by_name("hmmer");
+  const std::uint64_t lines = w.footprint_bytes / 64;
+  CoreGenerator gen(w, 2, 8, 42);  // core 2: private region [2*lines, 3*lines)
+  for (int i = 0; i < 20000; ++i) {
+    const MemOp op = gen.next();
+    EXPECT_GE(op.line, 2 * lines);
+    EXPECT_LT(op.line, 3 * lines);
+  }
+}
+
+TEST(CoreGenerator, MultithreadedSharesFootprint) {
+  const auto& w = workload_by_name("canneal");
+  ASSERT_TRUE(w.multithreaded);
+  const std::uint64_t lines = w.footprint_bytes / 64;
+  for (unsigned core : {0u, 3u, 7u}) {
+    CoreGenerator gen(w, core, 8, 42);
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(gen.next().line, lines);
+    }
+  }
+}
+
+TEST(CoreGenerator, StreamingWorkloadIsSequential) {
+  const auto& w = workload_by_name("libquantum");  // stream_fraction 0.98
+  CoreGenerator gen(w, 0, 8, 42);
+  std::uint64_t sequential = 0, total = 0;
+  std::uint64_t prev = gen.next().line;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t cur = gen.next().line;
+    if (cur == prev + 1) ++sequential;
+    prev = cur;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(sequential) / total, 0.9);
+}
+
+TEST(CoreGenerator, DeterministicPerSeed) {
+  const auto& w = workload_by_name("mcf");
+  CoreGenerator a(w, 1, 8, 7), b(w, 1, 8, 7), c(w, 1, 8, 8);
+  bool any_diff = false;
+  for (int i = 0; i < 1000; ++i) {
+    const MemOp oa = a.next(), ob = b.next(), oc = c.next();
+    EXPECT_EQ(oa.line, ob.line);
+    EXPECT_EQ(oa.is_write, ob.is_write);
+    EXPECT_EQ(oa.gap, ob.gap);
+    if (oa.line != oc.line) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must differ";
+}
+
+TEST(CoreGenerator, CoresHaveDistinctStreams) {
+  const auto& w = workload_by_name("canneal");
+  CoreGenerator a(w, 0, 8, 7), b(w, 1, 8, 7);
+  bool any_diff = false;
+  for (int i = 0; i < 200; ++i) {
+    if (a.next().line != b.next().line) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace eccsim::trace
