@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_degraded.dir/ablation_degraded.cpp.o"
+  "CMakeFiles/ablation_degraded.dir/ablation_degraded.cpp.o.d"
+  "ablation_degraded"
+  "ablation_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ecc_cache.dir/ablation_ecc_cache.cpp.o"
+  "CMakeFiles/ablation_ecc_cache.dir/ablation_ecc_cache.cpp.o.d"
+  "ablation_ecc_cache"
+  "ablation_ecc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

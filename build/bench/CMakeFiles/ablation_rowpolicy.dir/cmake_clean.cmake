@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rowpolicy.dir/ablation_rowpolicy.cpp.o"
+  "CMakeFiles/ablation_rowpolicy.dir/ablation_rowpolicy.cpp.o.d"
+  "ablation_rowpolicy"
+  "ablation_rowpolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rowpolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

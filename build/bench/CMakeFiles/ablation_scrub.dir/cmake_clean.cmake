@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scrub.dir/ablation_scrub.cpp.o"
+  "CMakeFiles/ablation_scrub.dir/ablation_scrub.cpp.o.d"
+  "ablation_scrub"
+  "ablation_scrub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_speedbin.dir/ablation_speedbin.cpp.o"
+  "CMakeFiles/ablation_speedbin.dir/ablation_speedbin.cpp.o.d"
+  "ablation_speedbin"
+  "ablation_speedbin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speedbin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

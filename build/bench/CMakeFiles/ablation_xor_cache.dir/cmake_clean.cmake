@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xor_cache.dir/ablation_xor_cache.cpp.o"
+  "CMakeFiles/ablation_xor_cache.dir/ablation_xor_cache.cpp.o.d"
+  "ablation_xor_cache"
+  "ablation_xor_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xor_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_mtbf_channels.dir/fig02_mtbf_channels.cpp.o"
+  "CMakeFiles/fig02_mtbf_channels.dir/fig02_mtbf_channels.cpp.o.d"
+  "fig02_mtbf_channels"
+  "fig02_mtbf_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_mtbf_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_eol_correction_fraction.dir/fig08_eol_correction_fraction.cpp.o"
+  "CMakeFiles/fig08_eol_correction_fraction.dir/fig08_eol_correction_fraction.cpp.o.d"
+  "fig08_eol_correction_fraction"
+  "fig08_eol_correction_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_eol_correction_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

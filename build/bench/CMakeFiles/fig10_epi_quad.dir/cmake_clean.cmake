@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_epi_quad.dir/fig10_epi_quad.cpp.o"
+  "CMakeFiles/fig10_epi_quad.dir/fig10_epi_quad.cpp.o.d"
+  "fig10_epi_quad"
+  "fig10_epi_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_epi_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

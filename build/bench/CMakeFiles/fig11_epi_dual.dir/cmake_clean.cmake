@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_epi_dual.dir/fig11_epi_dual.cpp.o"
+  "CMakeFiles/fig11_epi_dual.dir/fig11_epi_dual.cpp.o.d"
+  "fig11_epi_dual"
+  "fig11_epi_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_epi_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

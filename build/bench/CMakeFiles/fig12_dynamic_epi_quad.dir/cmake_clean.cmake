@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dynamic_epi_quad.dir/fig12_dynamic_epi_quad.cpp.o"
+  "CMakeFiles/fig12_dynamic_epi_quad.dir/fig12_dynamic_epi_quad.cpp.o.d"
+  "fig12_dynamic_epi_quad"
+  "fig12_dynamic_epi_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dynamic_epi_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

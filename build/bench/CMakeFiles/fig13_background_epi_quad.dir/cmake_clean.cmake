@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_background_epi_quad.dir/fig13_background_epi_quad.cpp.o"
+  "CMakeFiles/fig13_background_epi_quad.dir/fig13_background_epi_quad.cpp.o.d"
+  "fig13_background_epi_quad"
+  "fig13_background_epi_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_background_epi_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

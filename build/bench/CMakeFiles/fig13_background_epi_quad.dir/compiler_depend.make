@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_background_epi_quad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_background_epi_quad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_perf_quad.dir/fig14_perf_quad.cpp.o"
+  "CMakeFiles/fig14_perf_quad.dir/fig14_perf_quad.cpp.o.d"
+  "fig14_perf_quad"
+  "fig14_perf_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_perf_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

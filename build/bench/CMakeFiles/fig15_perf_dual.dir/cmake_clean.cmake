@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_perf_dual.dir/fig15_perf_dual.cpp.o"
+  "CMakeFiles/fig15_perf_dual.dir/fig15_perf_dual.cpp.o.d"
+  "fig15_perf_dual"
+  "fig15_perf_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_perf_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

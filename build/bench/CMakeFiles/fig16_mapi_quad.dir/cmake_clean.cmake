@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_mapi_quad.dir/fig16_mapi_quad.cpp.o"
+  "CMakeFiles/fig16_mapi_quad.dir/fig16_mapi_quad.cpp.o.d"
+  "fig16_mapi_quad"
+  "fig16_mapi_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_mapi_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_mapi_dual.dir/fig17_mapi_dual.cpp.o"
+  "CMakeFiles/fig17_mapi_dual.dir/fig17_mapi_dual.cpp.o.d"
+  "fig17_mapi_dual"
+  "fig17_mapi_dual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_mapi_dual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

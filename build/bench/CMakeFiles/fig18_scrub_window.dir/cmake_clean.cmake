@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_scrub_window.dir/fig18_scrub_window.cpp.o"
+  "CMakeFiles/fig18_scrub_window.dir/fig18_scrub_window.cpp.o.d"
+  "fig18_scrub_window"
+  "fig18_scrub_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_scrub_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6a_mixed_ranks.dir/sec6a_mixed_ranks.cpp.o"
+  "CMakeFiles/sec6a_mixed_ranks.dir/sec6a_mixed_ranks.cpp.o.d"
+  "sec6a_mixed_ranks"
+  "sec6a_mixed_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6a_mixed_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec6a_mixed_ranks.
+# This may be replaced when dependencies are built.

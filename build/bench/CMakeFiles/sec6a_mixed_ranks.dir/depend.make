@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6a_mixed_ranks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6b_hpc_stall.dir/sec6b_hpc_stall.cpp.o"
+  "CMakeFiles/sec6b_hpc_stall.dir/sec6b_hpc_stall.cpp.o.d"
+  "sec6b_hpc_stall"
+  "sec6b_hpc_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6b_hpc_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

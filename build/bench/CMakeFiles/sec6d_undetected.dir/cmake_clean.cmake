@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6d_undetected.dir/sec6d_undetected.cpp.o"
+  "CMakeFiles/sec6d_undetected.dir/sec6d_undetected.cpp.o.d"
+  "sec6d_undetected"
+  "sec6d_undetected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6d_undetected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6d_undetected.
+# This may be replaced when dependencies are built.

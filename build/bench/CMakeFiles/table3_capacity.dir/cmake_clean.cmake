@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_capacity.dir/table3_capacity.cpp.o"
+  "CMakeFiles/table3_capacity.dir/table3_capacity.cpp.o.d"
+  "table3_capacity"
+  "table3_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

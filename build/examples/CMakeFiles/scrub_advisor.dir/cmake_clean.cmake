@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_advisor.dir/scrub_advisor.cpp.o"
+  "CMakeFiles/scrub_advisor.dir/scrub_advisor.cpp.o.d"
+  "scrub_advisor"
+  "scrub_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

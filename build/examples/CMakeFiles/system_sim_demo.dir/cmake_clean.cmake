@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_sim_demo.dir/system_sim_demo.cpp.o"
+  "CMakeFiles/system_sim_demo.dir/system_sim_demo.cpp.o.d"
+  "system_sim_demo"
+  "system_sim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_sim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_cache.dir/cache.cpp.o"
+  "CMakeFiles/ecc_cache.dir/cache.cpp.o.d"
+  "libecc_cache.a"
+  "libecc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_common.dir/rng.cpp.o"
+  "CMakeFiles/ecc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ecc_common.dir/stats.cpp.o"
+  "CMakeFiles/ecc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ecc_common.dir/table.cpp.o"
+  "CMakeFiles/ecc_common.dir/table.cpp.o.d"
+  "libecc_common.a"
+  "libecc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/channel.cpp" "src/dram/CMakeFiles/ecc_dram.dir/channel.cpp.o" "gcc" "src/dram/CMakeFiles/ecc_dram.dir/channel.cpp.o.d"
+  "/root/repo/src/dram/ddr3_params.cpp" "src/dram/CMakeFiles/ecc_dram.dir/ddr3_params.cpp.o" "gcc" "src/dram/CMakeFiles/ecc_dram.dir/ddr3_params.cpp.o.d"
+  "/root/repo/src/dram/memory_system.cpp" "src/dram/CMakeFiles/ecc_dram.dir/memory_system.cpp.o" "gcc" "src/dram/CMakeFiles/ecc_dram.dir/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_dram.dir/channel.cpp.o"
+  "CMakeFiles/ecc_dram.dir/channel.cpp.o.d"
+  "CMakeFiles/ecc_dram.dir/ddr3_params.cpp.o"
+  "CMakeFiles/ecc_dram.dir/ddr3_params.cpp.o.d"
+  "CMakeFiles/ecc_dram.dir/memory_system.cpp.o"
+  "CMakeFiles/ecc_dram.dir/memory_system.cpp.o.d"
+  "libecc_dram.a"
+  "libecc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

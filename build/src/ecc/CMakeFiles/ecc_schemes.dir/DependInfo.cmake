@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/codec.cpp" "src/ecc/CMakeFiles/ecc_schemes.dir/codec.cpp.o" "gcc" "src/ecc/CMakeFiles/ecc_schemes.dir/codec.cpp.o.d"
+  "/root/repo/src/ecc/lotecc5_rs16.cpp" "src/ecc/CMakeFiles/ecc_schemes.dir/lotecc5_rs16.cpp.o" "gcc" "src/ecc/CMakeFiles/ecc_schemes.dir/lotecc5_rs16.cpp.o.d"
+  "/root/repo/src/ecc/multiecc.cpp" "src/ecc/CMakeFiles/ecc_schemes.dir/multiecc.cpp.o" "gcc" "src/ecc/CMakeFiles/ecc_schemes.dir/multiecc.cpp.o.d"
+  "/root/repo/src/ecc/scheme.cpp" "src/ecc/CMakeFiles/ecc_schemes.dir/scheme.cpp.o" "gcc" "src/ecc/CMakeFiles/ecc_schemes.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecc_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ecc_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_schemes.dir/codec.cpp.o"
+  "CMakeFiles/ecc_schemes.dir/codec.cpp.o.d"
+  "CMakeFiles/ecc_schemes.dir/lotecc5_rs16.cpp.o"
+  "CMakeFiles/ecc_schemes.dir/lotecc5_rs16.cpp.o.d"
+  "CMakeFiles/ecc_schemes.dir/multiecc.cpp.o"
+  "CMakeFiles/ecc_schemes.dir/multiecc.cpp.o.d"
+  "CMakeFiles/ecc_schemes.dir/scheme.cpp.o"
+  "CMakeFiles/ecc_schemes.dir/scheme.cpp.o.d"
+  "libecc_schemes.a"
+  "libecc_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

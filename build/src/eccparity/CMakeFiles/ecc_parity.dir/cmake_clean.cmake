@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_parity.dir/layout.cpp.o"
+  "CMakeFiles/ecc_parity.dir/layout.cpp.o.d"
+  "CMakeFiles/ecc_parity.dir/manager.cpp.o"
+  "CMakeFiles/ecc_parity.dir/manager.cpp.o.d"
+  "libecc_parity.a"
+  "libecc_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_faults.dir/fault_model.cpp.o"
+  "CMakeFiles/ecc_faults.dir/fault_model.cpp.o.d"
+  "CMakeFiles/ecc_faults.dir/injector.cpp.o"
+  "CMakeFiles/ecc_faults.dir/injector.cpp.o.d"
+  "CMakeFiles/ecc_faults.dir/montecarlo.cpp.o"
+  "CMakeFiles/ecc_faults.dir/montecarlo.cpp.o.d"
+  "libecc_faults.a"
+  "libecc_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_gf.dir/gf.cpp.o"
+  "CMakeFiles/ecc_gf.dir/gf.cpp.o.d"
+  "CMakeFiles/ecc_gf.dir/rs.cpp.o"
+  "CMakeFiles/ecc_gf.dir/rs.cpp.o.d"
+  "libecc_gf.a"
+  "libecc_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_sim.dir/system.cpp.o"
+  "CMakeFiles/ecc_sim.dir/system.cpp.o.d"
+  "libecc_sim.a"
+  "libecc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_trace.dir/workload.cpp.o"
+  "CMakeFiles/ecc_trace.dir/workload.cpp.o.d"
+  "libecc_trace.a"
+  "libecc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

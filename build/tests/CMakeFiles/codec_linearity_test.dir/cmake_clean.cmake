@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_linearity_test.dir/codec_linearity_test.cpp.o"
+  "CMakeFiles/codec_linearity_test.dir/codec_linearity_test.cpp.o.d"
+  "codec_linearity_test"
+  "codec_linearity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_linearity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

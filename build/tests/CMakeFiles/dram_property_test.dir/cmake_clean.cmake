@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_property_test.dir/dram_property_test.cpp.o"
+  "CMakeFiles/dram_property_test.dir/dram_property_test.cpp.o.d"
+  "dram_property_test"
+  "dram_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_codec_test.dir/ecc_codec_test.cpp.o"
+  "CMakeFiles/ecc_codec_test.dir/ecc_codec_test.cpp.o.d"
+  "ecc_codec_test"
+  "ecc_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_scheme_test.dir/ecc_scheme_test.cpp.o"
+  "CMakeFiles/ecc_scheme_test.dir/ecc_scheme_test.cpp.o.d"
+  "ecc_scheme_test"
+  "ecc_scheme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

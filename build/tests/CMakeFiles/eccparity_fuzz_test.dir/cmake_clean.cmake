@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccparity_fuzz_test.dir/eccparity_fuzz_test.cpp.o"
+  "CMakeFiles/eccparity_fuzz_test.dir/eccparity_fuzz_test.cpp.o.d"
+  "eccparity_fuzz_test"
+  "eccparity_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccparity_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eccparity_layout_test.cpp" "tests/CMakeFiles/eccparity_layout_test.dir/eccparity_layout_test.cpp.o" "gcc" "tests/CMakeFiles/eccparity_layout_test.dir/eccparity_layout_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eccparity/CMakeFiles/ecc_parity.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/ecc_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ecc_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ecc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

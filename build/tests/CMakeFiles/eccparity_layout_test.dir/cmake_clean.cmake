@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccparity_layout_test.dir/eccparity_layout_test.cpp.o"
+  "CMakeFiles/eccparity_layout_test.dir/eccparity_layout_test.cpp.o.d"
+  "eccparity_layout_test"
+  "eccparity_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccparity_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eccparity_manager_test.dir/eccparity_manager_test.cpp.o"
+  "CMakeFiles/eccparity_manager_test.dir/eccparity_manager_test.cpp.o.d"
+  "eccparity_manager_test"
+  "eccparity_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eccparity_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotecc5_rs16_test.dir/lotecc5_rs16_test.cpp.o"
+  "CMakeFiles/lotecc5_rs16_test.dir/lotecc5_rs16_test.cpp.o.d"
+  "lotecc5_rs16_test"
+  "lotecc5_rs16_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotecc5_rs16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

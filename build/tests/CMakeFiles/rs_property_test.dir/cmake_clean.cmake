@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rs_property_test.dir/rs_property_test.cpp.o"
+  "CMakeFiles/rs_property_test.dir/rs_property_test.cpp.o.d"
+  "rs_property_test"
+  "rs_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
