@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -11,20 +12,49 @@ namespace eccsim::bench {
 
 namespace {
 
-bool quick_mode() {
-  const char* q = std::getenv("ECCSIM_QUICK");
-  return q != nullptr && std::string(q) != "0";
+// Root seed for the whole evaluation; per-workload substreams are derived
+// from it so every scheme observes the same stimulus for a given workload
+// (the comparisons in Figs. 10-17 are paired) while distinct workloads get
+// statistically independent streams.
+constexpr std::uint64_t kRootSeed = 1;
+
+// Process start, approximated at static-init time; emit() reports elapsed
+// wall-clock relative to it.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::string(v) != "0";
 }
+
+bool quick_mode() { return env_flag("ECCSIM_QUICK"); }
+bool smoke_mode() { return env_flag("ECCSIM_SMOKE"); }
 
 bool cache_enabled() {
   const char* c = std::getenv("ECCSIM_SWEEP_CACHE");
   return c == nullptr || std::string(c) != "0";
 }
 
+std::string fidelity_suffix() {
+  if (smoke_mode()) return "_smoke";
+  if (quick_mode()) return "_quick";
+  return "";
+}
+
+/// Output directory prefix: smoke runs are quarantined in a subdirectory
+/// so CI-sized numbers never overwrite the committed full-fidelity CSVs.
+std::string out_dir(const std::string& base) {
+  return smoke_mode() ? base + "/smoke" : base;
+}
+
+std::string scale_name(ecc::SystemScale scale) {
+  return scale == ecc::SystemScale::kQuadEquivalent ? "quad" : "dual";
+}
+
 std::string cache_path(ecc::SystemScale scale) {
-  return std::string("bench_results/sweep_") +
-         (scale == ecc::SystemScale::kQuadEquivalent ? "quad" : "dual") +
-         (quick_mode() ? "_quick" : "") + ".csv";
+  return "bench_results/sweep_" + scale_name(scale) + fidelity_suffix() +
+         ".csv";
 }
 
 std::string serialize(const sim::RunResult& r) {
@@ -80,35 +110,73 @@ std::vector<sim::RunResult> load_cache(const std::string& path) {
 }
 
 std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
-  std::vector<sim::RunResult> rows;
-  sim::SimOptions opts;
-  opts.target_instructions = target_instructions();
-  opts.seed = 1;
+  // One cell per (workload, scheme), fanned out over the runner.  Each
+  // cell builds its own SimOptions with the workload's substream seed, so
+  // schemes stay paired per workload and nothing depends on execution
+  // order.
   const auto schemes = ecc::all_schemes();
   const auto& workloads = trace::paper_workloads();
-  unsigned done = 0;
-  const unsigned total =
-      static_cast<unsigned>(schemes.size() * workloads.size());
-  for (const auto& wl : workloads) {
+  std::vector<runner::Cell> cells;
+  cells.reserve(workloads.size() * schemes.size());
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const std::uint64_t seed = runner::substream_seed(kRootSeed, wi);
     for (const auto id : schemes) {
-      rows.push_back(sim::run_experiment(id, scale, wl.name, opts));
-      ++done;
-      std::fprintf(stderr, "\r[sweep %s] %u/%u (%s / %s)        ",
-                   scale == ecc::SystemScale::kQuadEquivalent ? "quad"
-                                                              : "dual",
-                   done, total, wl.name.c_str(),
-                   ecc::to_string(id).c_str());
-      std::fflush(stderr);
+      runner::Cell cell;
+      cell.scheme = ecc::to_string(id);
+      cell.workload = workloads[wi].name;
+      cell.work = [id, scale, seed, name = workloads[wi].name] {
+        sim::SimOptions opts;
+        opts.target_instructions = target_instructions();
+        opts.seed = seed;
+        return sim::run_experiment(id, scale, name, opts);
+      };
+      cells.push_back(std::move(cell));
     }
   }
-  std::fprintf(stderr, "\n");
+
+  const runner::Report report =
+      run_cells("sweep " + scale_name(scale), cells);
+
+  // Persist the per-cell metrics + fan-out timings (this is where the
+  // realized speedup is recorded).
+  runner::Json doc = runner::Json::object();
+  doc.set("bench", "sweep_" + scale_name(scale));
+  doc.set("scale", scale_name(scale));
+  doc.set("target_instructions", target_instructions());
+  doc.set("metadata", runner::to_json(runner::collect_metadata()));
+  doc.set("run", runner::to_json(report));
+  runner::write_json(
+      out_dir("results") + "/sweep_" + scale_name(scale) + ".json", doc);
+
+  std::vector<sim::RunResult> rows;
+  rows.reserve(report.cells.size());
+  for (const auto& c : report.cells) rows.push_back(c.result);
   return rows;
 }
 
 }  // namespace
 
 std::uint64_t target_instructions() {
+  if (smoke_mode()) return 50'000;
   return quick_mode() ? 200'000 : 1'000'000;
+}
+
+runner::Report run_cells(const std::string& label,
+                         const std::vector<runner::Cell>& cells) {
+  runner::RunOptions opts;
+  opts.progress = [&label](std::size_t done, std::size_t total,
+                           const runner::Cell& cell) {
+    std::fprintf(stderr, "\r[%s] %zu/%zu (%s / %s)        ", label.c_str(),
+                 done, total, cell.workload.c_str(), cell.scheme.c_str());
+    std::fflush(stderr);
+  };
+  runner::Report report = runner::run_cells(cells, opts);
+  std::fprintf(stderr,
+               "\r[%s] %zu cells, %.1fs wall (%.1fs serial-equivalent, "
+               "%.2fx on %u threads)\n",
+               label.c_str(), cells.size(), report.wall_seconds,
+               report.cell_seconds, report.speedup(), report.threads);
+  return report;
 }
 
 const std::vector<sim::RunResult>& sweep(ecc::SystemScale scale) {
@@ -154,7 +222,28 @@ double reduction_pct(double baseline, double ours) {
 
 void emit(const std::string& name, const Table& table) {
   std::printf("%s\n", table.str().c_str());
-  write_file("bench_results/" + name + ".csv", table.csv());
+  write_file(out_dir("bench_results") + "/" + name + ".csv", table.csv());
+
+  runner::Json doc = runner::Json::object();
+  doc.set("bench", name);
+  doc.set("metadata", runner::to_json(runner::collect_metadata()));
+  doc.set("wall_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        kProcessStart)
+              .count());
+  runner::Json tbl = runner::Json::object();
+  runner::Json header = runner::Json::array();
+  for (const auto& h : table.header()) header.push_back(h);
+  tbl.set("header", header);
+  runner::Json rows = runner::Json::array();
+  for (const auto& r : table.row_data()) {
+    runner::Json row = runner::Json::array();
+    for (const auto& cell : r) row.push_back(cell);
+    rows.push_back(row);
+  }
+  tbl.set("rows", rows);
+  doc.set("table", tbl);
+  runner::write_json(out_dir("results") + "/" + name + ".json", doc);
 }
 
 std::vector<std::string> workload_order() {

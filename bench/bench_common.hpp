@@ -1,11 +1,25 @@
 // Shared infrastructure for the figure/table reproducers.
 //
 // Figures 9-17 all consume the same sweep: every workload x every scheme at
-// one system scale.  The sweep is lazily computed and cached as CSV under
-// bench_results/, so the first figure binary pays the simulation cost and
-// the rest load instantly.  Delete bench_results/ (or set
-// ECCSIM_SWEEP_CACHE=0) to force re-simulation; set ECCSIM_QUICK=1 for a
-// fast, lower-fidelity pass.
+// one system scale.  The sweep's cells are independent, so they fan out
+// over the work-stealing runner (src/runner) -- thread count comes from
+// RUNNER_THREADS (default: all cores) and results are bit-identical at any
+// thread count because every cell owns its simulator and draws its
+// workload stimulus from a per-workload RNG substream of the root seed.
+//
+// The sweep is lazily computed and cached as CSV under bench_results/, so
+// the first figure binary pays the simulation cost and the rest load
+// instantly.  Delete bench_results/ (or set ECCSIM_SWEEP_CACHE=0) to force
+// re-simulation.  Fidelity knobs:
+//   ECCSIM_QUICK=1  fast, lower-fidelity pass (200k instructions/cell)
+//   ECCSIM_SMOKE=1  CI-sized pass (50k instructions/cell); outputs are
+//                   redirected to bench_results/smoke/ and results/smoke/
+//                   so they never clobber the committed full-fidelity CSVs
+//
+// Besides the stdout table and bench_results/<name>.csv, every emit() also
+// writes machine-readable results/<name>.json (table + run metadata), and
+// each freshly simulated sweep writes results/sweep_<scale>.json with
+// per-cell metrics, timings, and the realized parallel speedup.
 #pragma once
 
 #include <string>
@@ -13,12 +27,13 @@
 
 #include "common/table.hpp"
 #include "ecc/scheme.hpp"
+#include "runner/runner.hpp"
 #include "sim/system.hpp"
 #include "trace/workload.hpp"
 
 namespace eccsim::bench {
 
-/// Instructions per run (ECCSIM_QUICK=1 shrinks it).
+/// Instructions per run (ECCSIM_QUICK / ECCSIM_SMOKE shrink it).
 std::uint64_t target_instructions();
 
 /// All (workload x scheme) results at one scale, cached on disk.
@@ -35,10 +50,18 @@ int bin_of(const std::string& workload);
 /// Percent reduction of `ours` relative to `baseline` ((1 - ours/base)*100).
 double reduction_pct(double baseline, double ours);
 
-/// Prints the table and also saves CSV under bench_results/<name>.csv.
+/// Prints the table, saves CSV under bench_results/<name>.csv, and saves
+/// JSON (table cells + run metadata + elapsed wall-clock) under
+/// results/<name>.json.  In smoke mode both land in .../smoke/ instead.
 void emit(const std::string& name, const Table& table);
 
 /// Workload names in presentation order (Bin1 first, then Bin2).
 std::vector<std::string> workload_order();
+
+/// Fans custom cells out over the runner with the standard stderr progress
+/// line.  For ablations that sweep knobs other than (workload x scheme);
+/// the standard sweep() already uses it internally.
+runner::Report run_cells(const std::string& label,
+                         const std::vector<runner::Cell>& cells);
 
 }  // namespace eccsim::bench

@@ -4,6 +4,10 @@
 // metric relative to five chipkill-class baselines, and of RAIM+ECC Parity
 // relative to RAIM -- plus Bin1/Bin2 averages, which are the numbers the
 // paper quotes in the text.
+//
+// Parallelism and JSON export are inherited from bench_common: sweep()
+// fans the grid out over src/runner (bit-identical at any thread count)
+// and emit() writes results/<name>.json alongside the CSV.
 #pragma once
 
 #include <cstdio>

@@ -2,6 +2,10 @@
 // normalized-accesses (Figs. 16/17) figures: per workload, the metric of
 // the parity schemes normalized to each baseline, plus geometric-mean
 // rows (ratios aggregate with the geometric mean).
+//
+// Parallelism and JSON export are inherited from bench_common: sweep()
+// fans the grid out over src/runner (bit-identical at any thread count)
+// and emit() writes results/<name>.json alongside the CSV.
 #pragma once
 
 #include <cstdio>

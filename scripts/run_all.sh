@@ -1,14 +1,55 @@
 #!/bin/sh
 # Builds, tests, and regenerates every paper table/figure plus ablations.
-# Usage: ./scripts_run_all.sh [--quick]
+#
+# Usage: ./scripts/run_all.sh [--quick | --smoke] [--no-build]
+#   --quick     lower-fidelity sweep (200k instructions per cell); outputs
+#               overwrite bench_results/ and results/ like a full run
+#   --smoke     CI-sized run (50k instructions per cell); outputs are
+#               quarantined under bench_results/smoke/ and results/smoke/
+#   --no-build  skip configure/build/ctest (binaries must already exist)
+#
+# Sweeps fan out over all cores by default; set RUNNER_THREADS=N to cap
+# (results are bit-identical at any thread count).  Every binary prints its
+# table to stdout and writes CSV + JSON result files; this driver adds
+# [n/total] progress and per-binary wall-clock to stderr.
 set -e
-[ "$1" = "--quick" ] && export ECCSIM_QUICK=1
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/*; do
-  case "$b" in
-    *microbench*) "$b" --benchmark_min_time=0.05 ;;
-    *) "$b" ;;
+
+build=1
+for arg in "$@"; do
+  case "$arg" in
+    --quick) export ECCSIM_QUICK=1 ;;
+    --smoke) export ECCSIM_SMOKE=1 ;;
+    --no-build) build=0 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
+
+cd "$(dirname "$0")/.."
+
+if [ "$build" = 1 ]; then
+  if command -v ninja >/dev/null 2>&1; then gen="-G Ninja"; else gen=""; fi
+  # shellcheck disable=SC2086
+  cmake -B build -S . $gen
+  cmake --build build -j "$(nproc)"
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
+
+total=0
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && total=$((total + 1))
+done
+n=0
+start=$(date +%s)
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  n=$((n + 1))
+  name=$(basename "$b")
+  echo "[$n/$total] $name" >&2
+  t0=$(date +%s)
+  case "$name" in
+    microbench*) "$b" --benchmark_min_time=0.05 ;;
+    *) "$b" ;;
+  esac
+  echo "[$n/$total] $name done in $(($(date +%s) - t0))s" >&2
+done
+echo "all $n bench binaries done in $(($(date +%s) - start))s" >&2

@@ -29,6 +29,12 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Raw cells, for structured (JSON) export alongside str()/csv().
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
   /// Renders with column alignment and a separator under the header.
   std::string str() const;
   /// Renders as CSV (RFC-4180 quoting for cells containing commas/quotes).

@@ -1,0 +1,93 @@
+// Minimal JSON document model for the experiment runner.
+//
+// The runner emits machine-readable results (results/<bench>.json) and the
+// test suite asserts they round-trip, so we need both a writer and a
+// parser.  This is a deliberately small, dependency-free implementation
+// covering exactly the JSON the runner produces: null, bool, finite
+// numbers, strings, arrays, and insertion-ordered objects.  It is not a
+// general-purpose validator (e.g. it accepts trailing whitespace only at
+// the end of the document and stores all numbers as double).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eccsim::runner {
+
+/// One JSON value: a tagged union over the seven JSON types (integers and
+/// reals share the number type).
+///
+/// Objects preserve insertion order so emitted files diff cleanly between
+/// runs.  Lookup is linear, which is fine at the runner's scale (a few
+/// dozen keys per object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Constructs null.
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Json(int i) : Json(static_cast<double>(i)) {}  // NOLINT
+  Json(std::uint64_t u)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kNumber), num_(static_cast<double>(u)) {}
+  Json(std::int64_t i)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Json(std::string s)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kString), str_(std::move(s)) {}
+
+  /// Named constructors for the container types.
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;                   ///< array
+  const std::vector<std::pair<std::string, Json>>& members() const;  ///< obj
+
+  /// Array append.  Throws unless this value is an array.
+  void push_back(Json v);
+  /// Object insert-or-overwrite (keeps the original position on
+  /// overwrite).  Throws unless this value is an object.
+  void set(const std::string& key, Json v);
+  /// Object lookup; throws std::out_of_range if the key is absent.
+  const Json& at(const std::string& key) const;
+  /// Object membership test (false for non-objects).
+  bool contains(const std::string& key) const;
+  /// Element count of an array or object, 0 otherwise.
+  std::size_t size() const;
+
+  /// Serializes the document.  `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact single-line form.  Numbers are
+  /// printed with enough digits to round-trip doubles exactly.
+  std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document.  Throws std::runtime_error with a
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace eccsim::runner

@@ -1,0 +1,189 @@
+#include "runner/runner.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace eccsim::runner {
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::string(v) != "0";
+}
+
+/// Finds the repository's HEAD commit by walking up from `start` to the
+/// first directory containing `.git`, then resolving one level of
+/// `ref:` indirection (loose ref file, falling back to packed-refs).
+std::string discover_git_sha(const std::filesystem::path& start) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::path dir = fs::absolute(start, ec); !dir.empty();
+       dir = dir.parent_path()) {
+    const fs::path git = dir / ".git";
+    if (!fs::exists(git, ec)) {
+      if (dir == dir.parent_path()) break;
+      continue;
+    }
+    std::ifstream head(git / "HEAD");
+    std::string line;
+    if (!head || !std::getline(head, line)) return "unknown";
+    constexpr const char* kRefPrefix = "ref: ";
+    if (line.rfind(kRefPrefix, 0) != 0) return line;  // detached HEAD
+    const std::string ref = line.substr(std::strlen(kRefPrefix));
+    std::ifstream loose(git / ref);
+    std::string sha;
+    if (loose && std::getline(loose, sha) && !sha.empty()) return sha;
+    // Ref not loose: scan packed-refs for "<sha> <ref>".
+    std::ifstream packed(git / "packed-refs");
+    while (packed && std::getline(packed, line)) {
+      if (line.size() > ref.size() + 41 && line[0] != '#' &&
+          line.compare(line.size() - ref.size(), ref.size(), ref) == 0 &&
+          line[40] == ' ') {
+        return line.substr(0, 40);
+      }
+    }
+    return "unknown";
+  }
+  return "unknown";
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+Report run_cells(const std::vector<Cell>& cells, const RunOptions& opts) {
+  Report report;
+  report.cells.resize(cells.size());
+  const unsigned threads =
+      opts.threads != 0 ? opts.threads : ThreadPool::default_thread_count();
+  report.threads = threads;
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(threads);
+    std::mutex progress_mu;
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      pool.submit([&, i] {
+        const auto t0 = std::chrono::steady_clock::now();
+        report.cells[i].result = cells[i].work();
+        const auto t1 = std::chrono::steady_clock::now();
+        report.cells[i].wall_seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (opts.progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          opts.progress(++done, cells.size(), cells[i]);
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  const auto sweep_end = std::chrono::steady_clock::now();
+  report.wall_seconds =
+      std::chrono::duration<double>(sweep_end - sweep_start).count();
+  for (const auto& c : report.cells) report.cell_seconds += c.wall_seconds;
+  return report;
+}
+
+std::uint64_t substream_seed(std::uint64_t root_seed, std::uint64_t stream) {
+  // SplitMix64 walks a Weyl sequence, so seeding it at root^f(stream) and
+  // drawing once gives well-separated, reproducible substream seeds.
+  SplitMix64 sm(root_seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  return sm.next();
+}
+
+RunMetadata collect_metadata() {
+  RunMetadata meta;
+  meta.git_sha = discover_git_sha(std::filesystem::current_path());
+  meta.threads = ThreadPool::default_thread_count();
+  meta.timestamp = utc_timestamp();
+  meta.quick = env_flag("ECCSIM_QUICK");
+  meta.smoke = env_flag("ECCSIM_SMOKE");
+  return meta;
+}
+
+Json to_json(const RunMetadata& meta) {
+  Json j = Json::object();
+  j.set("git_sha", meta.git_sha);
+  j.set("threads", static_cast<std::uint64_t>(meta.threads));
+  j.set("timestamp", meta.timestamp);
+  j.set("quick", meta.quick);
+  j.set("smoke", meta.smoke);
+  return j;
+}
+
+Json to_json(const CellResult& cell) {
+  const sim::RunResult& r = cell.result;
+  Json j = Json::object();
+  j.set("scheme", r.scheme);
+  j.set("workload", r.workload);
+  j.set("instructions", r.instructions);
+  j.set("mem_cycles", r.mem_cycles);
+  j.set("ipc", r.ipc);
+  j.set("epi_pj", r.epi_pj);
+  j.set("dynamic_epi_pj", r.dynamic_epi_pj);
+  j.set("background_epi_pj", r.background_epi_pj);
+  j.set("mapi", r.mapi);
+  j.set("bandwidth_utilization", r.bandwidth_utilization);
+  j.set("avg_read_latency", r.avg_read_latency);
+
+  Json power = Json::object();
+  power.set("activate_pj", r.mem.energy.activate_pj);
+  power.set("read_pj", r.mem.energy.read_pj);
+  power.set("write_pj", r.mem.energy.write_pj);
+  power.set("refresh_pj", r.mem.energy.refresh_pj);
+  power.set("background_pj", r.mem.energy.background_pj);
+  power.set("total_pj", r.mem.energy.total_pj());
+  j.set("energy", power);
+
+  Json traffic = Json::object();
+  traffic.set("reads", r.mem.reads);
+  traffic.set("writes", r.mem.writes);
+  traffic.set("ecc_reads", r.mem.ecc_reads);
+  traffic.set("ecc_writes", r.mem.ecc_writes);
+  j.set("traffic", traffic);
+
+  Json llc = Json::object();
+  llc.set("hits", r.llc.hits);
+  llc.set("misses", r.llc.misses);
+  llc.set("writebacks", r.llc.writebacks);
+  j.set("llc", llc);
+
+  j.set("wall_seconds", cell.wall_seconds);
+  return j;
+}
+
+Json to_json(const Report& report) {
+  Json j = Json::object();
+  j.set("threads", static_cast<std::uint64_t>(report.threads));
+  j.set("wall_seconds", report.wall_seconds);
+  j.set("cell_seconds", report.cell_seconds);
+  j.set("speedup", report.speedup());
+  Json cells = Json::array();
+  for (const auto& c : report.cells) cells.push_back(to_json(c));
+  j.set("cells", cells);
+  return j;
+}
+
+bool write_json(const std::string& path, const Json& doc) {
+  return write_file(path, doc.dump() + "\n");
+}
+
+}  // namespace eccsim::runner

@@ -70,15 +70,17 @@ struct SimOptions {
   std::uint64_t dedicated_ecc_cache_bytes = 0;
 };
 
-/// Everything a run produces.
+/// Everything a run produces.  Plain data: serialized to CSV by the bench
+/// sweep cache and to JSON by runner::to_json(), so additions here should
+/// be mirrored in both encoders.
 struct RunResult {
-  std::string scheme;
-  std::string workload;
-  std::uint64_t instructions = 0;
-  std::uint64_t mem_cycles = 0;
+  std::string scheme;             ///< ecc::SchemeDesc::name of the run
+  std::string workload;           ///< trace::WorkloadDesc::name of the run
+  std::uint64_t instructions = 0; ///< committed across all cores
+  std::uint64_t mem_cycles = 0;   ///< measured-phase memory-clock cycles
   double ipc = 0;                ///< instructions per CPU cycle (all cores)
-  dram::MemSystemStats mem;
-  cache::Cache::Stats llc;
+  dram::MemSystemStats mem;      ///< traffic, latency, and energy breakdown
+  cache::Cache::Stats llc;       ///< LLC hits/misses/writebacks (post-warm)
   double epi_pj = 0;             ///< memory energy per instruction (pJ)
   double dynamic_epi_pj = 0;
   double background_epi_pj = 0;  ///< incl. refresh
@@ -88,13 +90,30 @@ struct RunResult {
 };
 
 /// One workload on one memory system.
+///
+/// A SystemSim is fully self-contained -- it owns its DRAM model, caches,
+/// cores, and RNG state (seeded from SimOptions::seed), and touches no
+/// globals -- so independent instances may run concurrently on different
+/// threads (the runner's fan-out relies on this).  A single instance is
+/// not thread-safe and not reusable: construct, run() once, read the
+/// result.
 class SystemSim {
  public:
+  /// Builds the system: DRAM channels per `scheme`'s organization, an
+  /// 8 MB LLC (plus the optional dedicated ECC cache), one generator per
+  /// core for `workload`, and the ECC Parity layout when the scheme uses
+  /// it.  Throws std::invalid_argument if the scheme's memory-line size is
+  /// not a 64B multiple.
   SystemSim(const ecc::SchemeDesc& scheme, const trace::WorkloadDesc& workload,
             const CpuConfig& cpu = CpuConfig{},
             const SimOptions& opts = SimOptions{});
 
-  /// Runs to completion and returns the metrics.
+  /// Runs to completion and returns the metrics: warms the LLC to steady
+  /// state (no timing side effects), simulates until
+  /// SimOptions::target_instructions commit or max_mem_cycles elapse, then
+  /// drains outstanding traffic so energy accounting is complete.
+  /// Deterministic: equal configuration and seed give bit-identical
+  /// results on every run and thread.
   RunResult run();
 
  private:
@@ -165,7 +184,15 @@ class SystemSim {
   std::vector<std::uint64_t> ecc_index_to_key_;
 };
 
-/// Convenience: run one (scheme, scale, workload) experiment.
+/// Convenience: run one (scheme, scale, workload) experiment -- the unit
+/// of work the bench sweep fans out, one call per grid cell.
+///
+/// \param scheme         which Table II scheme to instantiate
+/// \param scale          dual- or quad-channel-equivalent system sizing
+/// \param workload_name  one of trace::paper_workloads() (throws
+///                       std::out_of_range if unknown)
+/// \param opts           run-control knobs; opts.seed selects the
+///                       workload-stimulus RNG stream
 RunResult run_experiment(ecc::SchemeId scheme, ecc::SystemScale scale,
                          const std::string& workload_name,
                          const SimOptions& opts = SimOptions{});
