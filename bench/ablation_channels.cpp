@@ -9,7 +9,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf("Ablation -- ECC Parity vs channel count (LOT-ECC5 base)\n\n");
   Table t({"channels", "capacity overhead", "XOR line coverage",
            "reserved rows/bank", "parity share of overhead"});

@@ -12,7 +12,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf("Ablation -- degraded-mode cost of faulty banks (steps B/D)\n\n");
   sim::SimOptions base_opts;
   base_opts.target_instructions = bench::target_instructions();
@@ -32,6 +33,10 @@ int main() {
         ++added;
       }
     }
+    // With --stats each row gets its own collector; degraded rows are the
+    // one place the Fig. 6 slow-path counter and trace instants fire.
+    opts.stats = bench::new_collector(
+        "milc", "lotecc5+parity-f" + std::to_string(faulty_banks));
     sim::SystemSim s(desc, trace::workload_by_name("milc"),
                      sim::CpuConfig{}, opts);
     const auto r = s.run();

@@ -9,7 +9,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf(
       "Ablation -- rank power-down under the close-page policy "
       "(Sec. IV-B)\n\n");

@@ -10,7 +10,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf("Ablation -- close-page vs open-page row policy (Sec. IV-B)\n\n");
   const auto desc = ecc::make_scheme(ecc::SchemeId::kLotEcc5Parity,
                                      ecc::SystemScale::kQuadEquivalent);

@@ -15,7 +15,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf("Ablation -- scrub traffic cost (Sec. VI-C)\n\n");
   const auto desc = ecc::make_scheme(ecc::SchemeId::kLotEcc5Parity,
                                      ecc::SystemScale::kQuadEquivalent);

@@ -11,7 +11,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf("Ablation -- DRAM speed bin (Sec. V-D)\n\n");
   sim::SimOptions opts;
   opts.target_instructions = bench::target_instructions();

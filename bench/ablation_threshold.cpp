@@ -13,7 +13,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf("Ablation -- error-counter threshold (paper: 4)\n\n");
   Table t({"threshold", "errors before marking", "pages retired",
            "lines materialized", "max retired (paper bound 4(N-1))"});

@@ -11,7 +11,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf(
       "Ablation -- XOR-cacheline compaction (Sec. III-D, Fig. 7)\n\n");
   const auto& rows = bench::sweep(ecc::SystemScale::kQuadEquivalent);

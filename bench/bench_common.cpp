@@ -5,8 +5,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+
+#include "runner/stats_json.hpp"
+#include "stats/scope.hpp"
+#include "stats/stats.hpp"
+#include "stats/trace.hpp"
 
 namespace eccsim::bench {
 
@@ -55,6 +61,125 @@ std::string scale_name(ecc::SystemScale scale) {
 std::string cache_path(ecc::SystemScale scale) {
   return "bench_results/sweep_" + scale_name(scale) + fidelity_suffix() +
          ".csv";
+}
+
+std::string g_bench_name = "bench";
+
+/// Default epoch length: small enough that even a CI-sized smoke run
+/// (~tens of thousands of memory cycles) records several epochs.
+std::uint64_t default_epoch_cycles() { return smoke_mode() ? 500 : 10'000; }
+
+stats::Config stats_config() {
+  return stats::Config::from_env(default_epoch_cycles());
+}
+
+void write_stats_dump(
+    const std::string& scale_label, const stats::Config& cfg,
+    const std::vector<std::unique_ptr<stats::Collector>>& collectors);
+extern std::vector<std::unique_ptr<stats::Collector>> g_adhoc_collectors;
+
+/// End-of-run report, registered via std::atexit by init().  The first
+/// line always prints (scripts/run_all.sh parses it for its summary); the
+/// per-scope profile only exists when --stats enabled the profiler.
+void profile_report() {
+  // Flush any collectors from direct-SystemSim benches (ablations) first:
+  // their stats dump is part of the run's output, not just the profile.
+  if (!g_adhoc_collectors.empty()) {
+    write_stats_dump("custom", stats_config(), g_adhoc_collectors);
+  }
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - kProcessStart)
+                          .count();
+  const double rss_mb =
+      static_cast<double>(stats::process_peak_rss_bytes()) / (1024.0 * 1024.0);
+  std::fprintf(stderr, "[eccsim-profile] bench=%s wall_seconds=%.3f "
+               "peak_rss_mb=%.1f\n",
+               g_bench_name.c_str(), wall, rss_mb);
+  if (!stats::Profiler::enabled()) return;
+
+  const auto snapshot = stats::Profiler::snapshot();
+  for (const auto& [scope, totals] : snapshot) {
+    std::fprintf(stderr, "[eccsim-profile] scope=%s calls=%llu seconds=%.3f\n",
+                 scope.c_str(),
+                 static_cast<unsigned long long>(totals.calls),
+                 totals.seconds);
+  }
+  runner::Json doc = runner::Json::object();
+  doc.set("bench", g_bench_name);
+  doc.set("wall_seconds", wall);
+  doc.set("peak_rss_bytes", stats::process_peak_rss_bytes());
+  doc.set("scopes", runner::profile_to_json(snapshot));
+  runner::write_json(out_dir("results") + "/" + g_bench_name + ".profile.json",
+                     doc);
+}
+
+/// Collectors handed out by new_collector() for benches that build
+/// SystemSims directly; dumped by the atexit report.
+std::vector<std::unique_ptr<stats::Collector>> g_adhoc_collectors;
+
+/// Writes results/<bench>.stats.json (merged registry + per-cell epoch
+/// series + trace-file index), flushes the per-cell trace files, and
+/// prints the human-readable summary table.
+void write_stats_dump(
+    const std::string& scale_label, const stats::Config& cfg,
+    const std::vector<std::unique_ptr<stats::Collector>>& collectors) {
+  stats::Registry merged;
+  for (const auto& c : collectors) merged.merge(c->registry());
+
+  runner::Json doc = runner::Json::object();
+  doc.set("bench", g_bench_name);
+  doc.set("scale", scale_label);
+  doc.set("epoch_cycles", cfg.epoch_cycles);
+  doc.set("metadata", runner::to_json(runner::collect_metadata()));
+  doc.set("merged", runner::to_json(merged));
+  runner::Json cells = runner::Json::array();
+  for (const auto& c : collectors) {
+    runner::Json jc = runner::Json::object();
+    jc.set("workload", c->workload());
+    jc.set("scheme", c->scheme());
+    if (stats::Tracer* t = c->tracer()) {
+      t->write();
+      jc.set("trace_file", t->path());
+      jc.set("trace_events", t->recorded());
+      jc.set("trace_dropped", t->dropped());
+    }
+    jc.set("stats", runner::to_json(c->registry()));
+    cells.push_back(std::move(jc));
+  }
+  doc.set("cells", cells);
+  const std::string path =
+      out_dir("results") + "/" + g_bench_name + ".stats.json";
+  runner::write_json(path, doc);
+
+  // Human-readable summary of the merged push stats (per-bank counters are
+  // elided: 32+ rows of detail that belong in the JSON, not on a terminal).
+  std::printf("\n-- stats summary: %zu cells merged -> %s --\n",
+              collectors.size(), path.c_str());
+  std::printf("%-44s %s\n", "stat", "value");
+  for (const auto& e : merged.view()) {
+    if (e.path->find(".bank") != std::string::npos) continue;
+    switch (e.kind) {
+      case stats::Registry::Kind::kCounter:
+      case stats::Registry::Kind::kAccum:
+        std::printf("%-44s %.0f\n", e.path->c_str(), e.value);
+        break;
+      case stats::Registry::Kind::kDistribution:
+        std::printf("%-44s mean=%.2f min=%.0f max=%.0f n=%llu\n",
+                    e.path->c_str(), e.dist->mean(), e.dist->min(),
+                    e.dist->max(),
+                    static_cast<unsigned long long>(e.dist->count()));
+        break;
+      case stats::Registry::Kind::kHistogram:
+        std::printf("%-44s p50=%.0f p95=%.0f p99=%.0f n=%llu\n",
+                    e.path->c_str(), e.hist->percentile(50),
+                    e.hist->percentile(95), e.hist->percentile(99),
+                    static_cast<unsigned long long>(e.hist->total()));
+        break;
+      case stats::Registry::Kind::kGauge:
+        break;  // per-run artifacts; merged registries carry none
+    }
+  }
+  std::printf("\n");
 }
 
 std::string serialize(const sim::RunResult& r) {
@@ -113,7 +238,11 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
   // One cell per (workload, scheme), fanned out over the runner.  Each
   // cell builds its own SimOptions with the workload's substream seed, so
   // schemes stay paired per workload and nothing depends on execution
-  // order.
+  // order.  With --stats every cell additionally owns one Collector
+  // (single-threaded registries; merged on this thread after the fan-out,
+  // so the bit-identical-at-any-thread-count guarantee is untouched).
+  const stats::Config stats_cfg = stats_config();
+  std::vector<std::unique_ptr<stats::Collector>> collectors;
   const auto schemes = ecc::all_schemes();
   const auto& workloads = trace::paper_workloads();
   std::vector<runner::Cell> cells;
@@ -124,10 +253,21 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
       runner::Cell cell;
       cell.scheme = ecc::to_string(id);
       cell.workload = workloads[wi].name;
-      cell.work = [id, scale, seed, name = workloads[wi].name] {
+      stats::Collector* col = nullptr;
+      if (stats_cfg.enabled) {
+        collectors.push_back(std::make_unique<stats::Collector>(stats_cfg));
+        col = collectors.back().get();
+        col->set_label(cell.workload, cell.scheme);
+        if (!stats_cfg.trace_dir.empty()) {
+          col->open_trace(stats_cfg.trace_dir + "/" + cell.workload + "_" +
+                          cell.scheme + ".trace.json");
+        }
+      }
+      cell.work = [id, scale, seed, name = workloads[wi].name, col] {
         sim::SimOptions opts;
         opts.target_instructions = target_instructions();
         opts.seed = seed;
+        opts.stats = col;
         return sim::run_experiment(id, scale, name, opts);
       };
       cells.push_back(std::move(cell));
@@ -136,6 +276,9 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
 
   const runner::Report report =
       run_cells("sweep " + scale_name(scale), cells);
+  if (stats_cfg.enabled) {
+    write_stats_dump(scale_name(scale), stats_cfg, collectors);
+  }
 
   // Persist the per-cell metrics + fan-out timings (this is where the
   // realized speedup is recorded).
@@ -155,6 +298,64 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
 }
 
 }  // namespace
+
+void init(int argc, char** argv) {
+  if (argc > 0 && argv[0] != nullptr) {
+    const std::string path = argv[0];
+    const auto slash = path.find_last_of('/');
+    g_bench_name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats") {
+      setenv("ECCSIM_STATS", "1", 1);
+    } else if (arg.rfind("--stats-epoch=", 0) == 0) {
+      setenv("ECCSIM_STATS", "1", 1);
+      setenv("STATS_EPOCH", arg.c_str() + 14, 1);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      setenv("STATS_TRACE", arg.c_str() + 8, 1);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--stats] [--stats-epoch=N] [--trace=DIR]\n"
+          "  --stats          enable the stats registry, epoch time series,\n"
+          "                   results/<bench>.stats.json, and the profiler\n"
+          "  --stats-epoch=N  epoch length in memory cycles (implies "
+          "--stats)\n"
+          "  --trace=DIR      Chrome trace-event file per sweep cell in DIR\n"
+          "Environment: ECCSIM_STATS, STATS_EPOCH, STATS_TRACE,\n"
+          "STATS_TRACE_LIMIT, ECCSIM_QUICK, ECCSIM_SMOKE, RUNNER_THREADS\n",
+          g_bench_name.c_str());
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n",
+                   g_bench_name.c_str(), arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (stats_config().enabled) stats::Profiler::set_enabled(true);
+  // Touch the profiler's function-local statics now so they are
+  // constructed before the atexit handler registers -- C++ tears static
+  // storage down in reverse order, so this guarantees they outlive it.
+  (void)stats::Profiler::snapshot();
+  std::atexit(&profile_report);
+}
+
+const std::string& bench_name() { return g_bench_name; }
+
+stats::Collector* new_collector(const std::string& workload,
+                                const std::string& scheme) {
+  const stats::Config cfg = stats_config();
+  if (!cfg.enabled) return nullptr;
+  g_adhoc_collectors.push_back(std::make_unique<stats::Collector>(cfg));
+  stats::Collector* col = g_adhoc_collectors.back().get();
+  col->set_label(workload, scheme);
+  if (!cfg.trace_dir.empty()) {
+    col->open_trace(cfg.trace_dir + "/" + workload + "_" + scheme +
+                    ".trace.json");
+  }
+  return col;
+}
 
 std::uint64_t target_instructions() {
   if (smoke_mode()) return 50'000;
@@ -186,7 +387,9 @@ const std::vector<sim::RunResult>& sweep(ecc::SystemScale scale) {
   if (it != cache.end()) return it->second;
 
   const std::string path = cache_path(scale);
-  if (cache_enabled()) {
+  // A cache hit would skip simulation entirely, so --stats (which only
+  // observes live runs) forces a fresh sweep.
+  if (cache_enabled() && !stats_config().enabled) {
     auto rows = load_cache(path);
     // 16 workloads x 8 schemes expected.
     if (rows.size() == trace::paper_workloads().size() *

@@ -33,6 +33,30 @@
 
 namespace eccsim::bench {
 
+/// Parses the standard bench flags and installs the end-of-run profile
+/// report (wall-clock + peak RSS on stderr; scripts/run_all.sh parses it).
+/// Flags:
+///   --stats           enable the observability layer (= ECCSIM_STATS=1):
+///                     per-cell stat registries, epoch time series, a
+///                     results/<bench>.stats.json dump, and a summary table
+///   --stats-epoch=N   epoch length in memory cycles (implies --stats)
+///   --trace=DIR       Chrome trace-event files, one per sweep cell, in DIR
+///                     (loadable in Perfetto / chrome://tracing)
+/// Call first in main(); unknown flags exit with usage.
+void init(int argc, char** argv);
+
+/// Basename of the running binary ("bench" before init()).
+const std::string& bench_name();
+
+/// Per-run stats collector for benches that build SystemSims directly
+/// (the standard sweep() wires its own): nullptr when stats are off, so
+/// callers can assign the result to SimOptions::stats unconditionally.
+/// Owned by bench_common; everything handed out here is merged into
+/// results/<bench>.stats.json (and its trace flushed) when the process
+/// exits.  `workload`/`scheme` label the cell and name its trace file.
+stats::Collector* new_collector(const std::string& workload,
+                                const std::string& scheme);
+
 /// Instructions per run (ECCSIM_QUICK / ECCSIM_SMOKE shrink it).
 std::uint64_t target_instructions();
 

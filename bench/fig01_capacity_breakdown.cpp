@@ -9,7 +9,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf(
       "Fig. 1 -- Capacity overhead breakdown (fraction of data bits)\n\n");
   Table t({"ECC", "detection", "correction", "total",

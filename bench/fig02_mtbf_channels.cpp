@@ -14,7 +14,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   faults::SystemShape shape;  // 8 channels x 4 ranks x 9 chips (Fig. 2)
   Table t({"FIT/chip", "analytic MTBF (days)", "simulated (days)",
            "gaps observed"});

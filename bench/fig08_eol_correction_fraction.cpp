@@ -11,7 +11,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   const double life = 7 * units::kHoursPerYear;
   const auto rates = faults::ddr3_vendor_average();
   const unsigned systems = 20'000;

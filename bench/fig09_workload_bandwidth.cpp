@@ -8,7 +8,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   const auto& rows = bench::sweep(ecc::SystemScale::kDualEquivalent);
   Table t({"workload", "bin", "bandwidth utilization", "GB/s"});
   // A dual-channel 36-device system moves 16B data per memory clock per

@@ -7,7 +7,8 @@
 // RAIM+Parity vs RAIM: 22.6% (Bin2) / 18.5% (Bin1).
 #include "fig_epi_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   eccsim::bench::epi_style_figure(
       "fig10_epi_quad",
       "Fig. 10 -- Memory EPI reduction, quad-channel-equivalent systems",

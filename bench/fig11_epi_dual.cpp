@@ -3,7 +3,8 @@
 // Same trends as Fig. 10 with somewhat smaller parity-sharing benefits.
 #include "fig_epi_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   eccsim::bench::epi_style_figure(
       "fig11_epi_dual",
       "Fig. 11 -- Memory EPI reduction, dual-channel-equivalent systems",

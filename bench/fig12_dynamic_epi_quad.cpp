@@ -3,7 +3,8 @@
 // schemes win here because they read/write far fewer chips per request.
 #include "fig_epi_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   eccsim::bench::epi_style_figure(
       "fig12_dynamic_epi_quad",
       "Fig. 12 -- Dynamic EPI reduction, quad-channel-equivalent systems",

@@ -4,7 +4,8 @@
 // mode under the close-page policy.
 #include "fig_epi_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   eccsim::bench::epi_style_figure(
       "fig13_background_epi_quad",
       "Fig. 13 -- Background EPI reduction, quad-channel-equivalent systems",

@@ -5,7 +5,8 @@
 // chipkill36/RAIM on high-spatial-locality workloads (e.g. streamcluster).
 #include "fig_perf_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   eccsim::bench::ratio_figure(
       "fig14_perf_quad",
       "Fig. 14 -- Performance normalized to baselines (quad-equivalent, >1 = faster)",

@@ -2,7 +2,8 @@
 // equivalent systems.  Same qualitative behavior as Fig. 14.
 #include "fig_perf_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   eccsim::bench::ratio_figure(
       "fig15_perf_dual",
       "Fig. 15 -- Performance normalized to baselines (dual-equivalent, >1 = faster)",

@@ -5,7 +5,8 @@
 // 128B-line 36-device chipkill (no wasted sibling fetches).
 #include "fig_perf_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   eccsim::bench::ratio_figure(
       "fig16_mapi_quad",
       "Fig. 16 -- Memory accesses per instruction normalized to baselines (quad, <1 = fewer)",

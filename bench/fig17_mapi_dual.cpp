@@ -4,7 +4,8 @@
 // share a parity, raising its miss rate (Sec. V-D).
 #include "fig_perf_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   eccsim::bench::ratio_figure(
       "fig17_mapi_dual",
       "Fig. 17 -- Memory accesses per instruction normalized to baselines (dual, <1 = fewer)",

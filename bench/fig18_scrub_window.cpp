@@ -10,7 +10,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   faults::SystemShape shape;  // 8 channels, 4 ranks, 9 chips (Sec. VI-C)
   const double life = 7 * units::kHoursPerYear;
 

@@ -30,7 +30,8 @@ double access_pj(dram::DeviceWidth width, unsigned chips) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   std::printf("Sec. VI-A -- mixed wide/narrow ranks in one channel\n\n");
 
   const double wide_pj = access_pj(dram::DeviceWidth::kX16, 5);    // LOT-ECC5

@@ -11,7 +11,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   const auto rates = faults::ddr3_vendor_average();
 
   std::printf("Sec. VI-B -- HPC stall-time estimate\n\n");

@@ -20,7 +20,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   // The Sec. VI-D code: RS(10, 8) over GF(2^16).  Detection uses only the
   // first check symbol (syndrome S1 of the full code).
   gf::Rs16 code(10, 8);

@@ -9,7 +9,8 @@
 
 using namespace eccsim;
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   const sim::CpuConfig cpu;
   const cache::CacheConfig llc;
   Table t({"parameter", "value", "paper (Table I)"});

@@ -16,7 +16,8 @@ std::string rank_config(const ecc::SchemeDesc& d) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   Table t({"scheme", "rank config", "line", "ranks/chan",
            "channels (dual,quad)", "pins (dual,quad)"});
   for (const auto id : ecc::all_schemes()) {

@@ -26,7 +26,8 @@ std::string eol_cell(const ecc::SchemeDesc& d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  eccsim::bench::init(argc, argv);
   struct Row {
     ecc::SchemeId id;
     ecc::SystemScale scale;

@@ -40,16 +40,37 @@ for b in build/bench/*; do
 done
 n=0
 start=$(date +%s)
+errlog=$(mktemp)
+profiles=$(mktemp)
+trap 'rm -f "$errlog" "$profiles"' EXIT
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   n=$((n + 1))
   name=$(basename "$b")
   echo "[$n/$total] $name" >&2
   t0=$(date +%s)
+  # Stderr is teed through a file so the bench's [eccsim-profile] line
+  # (wall-clock + peak RSS, emitted by bench::init's atexit report) can be
+  # collected for the end-of-run summary table.
   case "$name" in
-    microbench*) "$b" --benchmark_min_time=0.05 ;;
-    *) "$b" ;;
-  esac
+    microbench*) "$b" --benchmark_min_time=0.05 2>"$errlog" ;;
+    *) "$b" 2>"$errlog" ;;
+  esac || { cat "$errlog" >&2; exit 1; }
+  cat "$errlog" >&2
+  grep '^\[eccsim-profile\] bench=' "$errlog" >>"$profiles" || true
   echo "[$n/$total] $name done in $(($(date +%s) - t0))s" >&2
 done
 echo "all $n bench binaries done in $(($(date +%s) - start))s" >&2
+
+if [ -s "$profiles" ]; then
+  {
+    echo ""
+    echo "--- per-binary profile (from [eccsim-profile]) ---"
+    printf '%-32s %12s %12s\n' "binary" "wall (s)" "peak RSS (MB)"
+    sed -e 's/^\[eccsim-profile\] bench=//' \
+        -e 's/ wall_seconds=/ /' -e 's/ peak_rss_mb=/ /' "$profiles" |
+      while read -r bench wall rss; do
+        printf '%-32s %12s %12s\n' "$bench" "$wall" "$rss"
+      done
+  } >&2
+fi

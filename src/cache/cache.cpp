@@ -115,6 +115,20 @@ bool Cache::contains(std::uint64_t line_addr) const {
   return find(line_addr) != nullptr;
 }
 
+void Cache::attach_stats(stats::Registry& reg, const std::string& prefix) {
+  reg.gauge(prefix + ".hits", [this](std::uint64_t) {
+    return static_cast<double>(stats_.hits);
+  });
+  reg.gauge(prefix + ".misses", [this](std::uint64_t) {
+    return static_cast<double>(stats_.misses);
+  });
+  reg.gauge(prefix + ".writebacks", [this](std::uint64_t) {
+    return static_cast<double>(stats_.writebacks);
+  });
+  reg.gauge(prefix + ".hit_rate",
+            [this](std::uint64_t) { return stats_.hit_rate(); });
+}
+
 bool Cache::invalidate(std::uint64_t line_addr) {
   if (Line* line = find(line_addr)) {
     const bool was_dirty = line->dirty;

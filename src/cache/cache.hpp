@@ -16,7 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "stats/stats.hpp"
 
 namespace eccsim::cache {
 
@@ -93,6 +96,11 @@ class Cache {
 
   std::uint32_t sets() const { return num_sets_; }
   std::uint32_t ways() const { return cfg_.ways; }
+
+  /// Registers polled gauges over this cache's counters under `prefix`
+  /// (e.g. "llc"): hits, misses, writebacks, hit_rate.  Observation only;
+  /// the access hot path is untouched.  `reg` must outlive the cache's use.
+  void attach_stats(stats::Registry& reg, const std::string& prefix);
 
  private:
   struct Line {

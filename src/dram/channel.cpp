@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "stats/scope.hpp"
+
 namespace eccsim::dram {
+
+namespace {
+
+/// Trace-event labels per command; ECC-maintenance classes carry the
+/// "eccparity" category so parity traffic is filterable in Perfetto.
+const char* trace_cat(LineClass lc) {
+  return lc == LineClass::kData ? "dram" : "dram,eccparity";
+}
+
+const char* trace_name(bool is_write, LineClass lc) {
+  switch (lc) {
+    case LineClass::kData: return is_write ? "WR" : "RD";
+    case LineClass::kEccParity:
+      return is_write ? "PARITY_WR" : "PARITY_RD";
+    case LineClass::kEccCorrection:
+      return is_write ? "ECC_CORR_WR" : "ECC_CORR_RD";
+    case LineClass::kEccOther: return is_write ? "ECC_WR" : "ECC_RD";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg) {
   if (cfg_.ranks == 0 || cfg_.banks == 0) {
@@ -64,31 +88,33 @@ std::uint64_t Channel::apply_refresh(RankState& rank, std::uint64_t t_act) {
   while (rank.next_refresh + t.tRFC <= t_act) {
     stats_.energy.refresh_pj +=
         cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
+    if (hooks_) hooks_->refreshes->inc();
     rank.next_refresh += t.tREFI;
   }
   if (t_act >= rank.next_refresh) {
     // ACT falls inside the refresh blackout: push it past tRFC.
     stats_.energy.refresh_pj +=
         cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
+    if (hooks_) hooks_->refreshes->inc();
     t_act = rank.next_refresh + t.tRFC;
     rank.next_refresh += t.tREFI;
   }
   return t_act;
 }
 
-void Channel::account_background(RankState& rank, std::uint64_t until) {
-  if (until <= rank.bg_accounted_until) return;
+Channel::BackgroundParts Channel::background_pj_between(
+    const RankState& rank, std::uint64_t from, std::uint64_t until) const {
   const auto& e = cfg_.device.energy;
   const double chips = cfg_.chips_per_rank;
-  std::uint64_t from = rank.bg_accounted_until;
+  BackgroundParts parts;
 
   // Split [from, until) into: active-standby while any bank is open
   // (<= active_until), then precharge standby for the idle timeout, then
   // power-down for the remainder.
   if (from < rank.active_until) {
     const std::uint64_t active_span = std::min(until, rank.active_until) - from;
-    stats_.energy.background_pj +=
-        static_cast<double>(active_span) * e.bg_act_pj_cyc * chips;
+    parts.active_pj = static_cast<double>(active_span) * e.bg_act_pj_cyc *
+                      chips;
     from += active_span;
   }
   if (from < until) {
@@ -108,11 +134,99 @@ void Channel::account_background(RankState& rank, std::uint64_t until) {
         pd_span = idle_span - standby_span;
       }
     }
-    stats_.energy.background_pj +=
-        static_cast<double>(standby_span) * e.bg_pre_pj_cyc * chips +
-        static_cast<double>(pd_span) * e.bg_pd_pj_cyc * chips;
+    parts.idle_pj = static_cast<double>(standby_span) * e.bg_pre_pj_cyc *
+                        chips +
+                    static_cast<double>(pd_span) * e.bg_pd_pj_cyc * chips;
   }
+  return parts;
+}
+
+void Channel::account_background(RankState& rank, std::uint64_t until) {
+  if (until <= rank.bg_accounted_until) return;
+  const BackgroundParts parts =
+      background_pj_between(rank, rank.bg_accounted_until, until);
+  // Two separate adds, matching the pre-refactor accumulation order
+  // exactly (x += 0.0 is exact for the finite non-negative tallies here).
+  stats_.energy.background_pj += parts.active_pj;
+  stats_.energy.background_pj += parts.idle_pj;
   rank.bg_accounted_until = until;
+}
+
+ChannelStats Channel::peek_stats(std::uint64_t now) const {
+  ChannelStats s = stats_;
+  const auto& t = cfg_.device.timing;
+  for (const RankState& rank : ranks_) {
+    // Residual refresh intervals finalize(now) would still charge.
+    std::uint64_t next_refresh = rank.next_refresh;
+    while (next_refresh < now) {
+      s.energy.refresh_pj +=
+          cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
+      next_refresh += t.tREFI;
+    }
+    if (now > rank.bg_accounted_until) {
+      const BackgroundParts parts =
+          background_pj_between(rank, rank.bg_accounted_until, now);
+      s.energy.background_pj += parts.active_pj;
+      s.energy.background_pj += parts.idle_pj;
+    }
+  }
+  return s;
+}
+
+void Channel::attach_stats(stats::Registry& reg, const std::string& prefix,
+                           stats::Tracer* tracer, std::uint32_t tracer_tid) {
+  hooks_ = std::make_unique<StatHooks>();
+  hooks_->acts = reg.counter(prefix + ".acts");
+  hooks_->refreshes = reg.counter(prefix + ".refreshes");
+  hooks_->bank_acts.reserve(std::size_t{cfg_.ranks} * cfg_.banks);
+  for (std::uint32_t r = 0; r < cfg_.ranks; ++r) {
+    for (std::uint32_t b = 0; b < cfg_.banks; ++b) {
+      hooks_->bank_acts.push_back(reg.counter(
+          prefix + ".bank" + std::to_string(r * cfg_.banks + b) + ".acts"));
+    }
+  }
+  hooks_->read_latency =
+      reg.histogram(prefix + ".read_latency", 0.0, 2000.0, 100);
+  hooks_->queue_depth = reg.distribution(prefix + ".queue_depth");
+
+  // Polled gauges over the counters the channel keeps anyway for its
+  // functional results, so the hot path is not touched twice.  Energy
+  // gauges go through peek_stats so every epoch sample sees background
+  // and refresh energy integrated up to the sample cycle.
+  reg.gauge(prefix + ".reads", [this](std::uint64_t) {
+    return static_cast<double>(stats_.reads);
+  });
+  reg.gauge(prefix + ".writes", [this](std::uint64_t) {
+    return static_cast<double>(stats_.writes);
+  });
+  reg.gauge(prefix + ".ecc_reads", [this](std::uint64_t) {
+    return static_cast<double>(stats_.ecc_reads);
+  });
+  reg.gauge(prefix + ".ecc_writes", [this](std::uint64_t) {
+    return static_cast<double>(stats_.ecc_writes);
+  });
+  reg.gauge(prefix + ".busy_data_cycles", [this](std::uint64_t) {
+    return static_cast<double>(stats_.busy_data_cycles);
+  });
+  reg.gauge(prefix + ".row_hits", [this](std::uint64_t) {
+    return static_cast<double>(row_hits_);
+  });
+  reg.gauge(prefix + ".energy.dynamic_pj", [this](std::uint64_t) {
+    return stats_.energy.dynamic_pj();
+  });
+  reg.gauge(prefix + ".energy.refresh_pj", [this](std::uint64_t cycle) {
+    return peek_stats(cycle).energy.refresh_pj;
+  });
+  reg.gauge(prefix + ".energy.background_pj", [this](std::uint64_t cycle) {
+    return peek_stats(cycle).energy.background_pj;
+  });
+  reg.gauge(prefix + ".energy.total_pj", [this](std::uint64_t cycle) {
+    return peek_stats(cycle).energy.total_pj();
+  });
+
+  tracer_ = tracer;
+  tracer_tid_ = tracer_tid;
+  if (tracer_) tracer_->set_thread_name(tracer_tid_, prefix);
 }
 
 std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
@@ -162,6 +276,21 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
     last_was_write_ = req.is_write;
     completions_.push(PendingCompletion{
         data_end, MemCompletion{req.id, req.is_write, data_end}});
+    if (hooks_) {
+      if (!req.is_write) {
+        hooks_->read_latency->add(
+            static_cast<double>(data_end - req.enqueue_cycle));
+      }
+      hooks_->queue_depth->add(static_cast<double>(queue_.size()));
+    }
+    if (tracer_) {
+      tracer_->duration(
+          trace_cat(req.line_class), trace_name(req.is_write, req.line_class),
+          data_start, data_end, tracer_tid_,
+          {{"bank", static_cast<double>(req.addr.rank * cfg_.banks +
+                                        req.addr.bank)},
+           {"row", static_cast<double>(req.addr.row)}});
+    }
     return data_end;
   }
 
@@ -241,6 +370,23 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
 
   completions_.push(PendingCompletion{
       data_end, MemCompletion{req.id, req.is_write, data_end}});
+  if (hooks_) {
+    hooks_->acts->inc();
+    hooks_->bank_acts[req.addr.rank * cfg_.banks + req.addr.bank]->inc();
+    if (!req.is_write) {
+      hooks_->read_latency->add(
+          static_cast<double>(data_end - req.enqueue_cycle));
+    }
+    hooks_->queue_depth->add(static_cast<double>(queue_.size()));
+  }
+  if (tracer_) {
+    tracer_->duration(
+        trace_cat(req.line_class), trace_name(req.is_write, req.line_class),
+        data_start, data_end, tracer_tid_,
+        {{"bank", static_cast<double>(req.addr.rank * cfg_.banks +
+                                      req.addr.bank)},
+         {"row", static_cast<double>(req.addr.row)}});
+  }
   return data_end;
 }
 
@@ -252,6 +398,7 @@ void Channel::tick(std::uint64_t now, std::vector<MemCompletion>& out) {
   }
 
   if (queue_.empty()) return;
+  STATS_SCOPE("dram.scheduler");
 
   // Scheduler: examine up to `scheduler_window` oldest transactions, pick
   // the one that can activate earliest; break ties in favor of the
@@ -301,6 +448,7 @@ void Channel::finalize(std::uint64_t end_cycle) {
     while (rank.next_refresh < end_cycle) {
       stats_.energy.refresh_pj +=
           cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
+      if (hooks_) hooks_->refreshes->inc();
       rank.next_refresh += t.tREFI;
     }
     account_background(rank, end_cycle);

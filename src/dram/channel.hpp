@@ -15,11 +15,15 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "dram/ddr3_params.hpp"
 #include "dram/request.hpp"
+#include "stats/stats.hpp"
+#include "stats/trace.hpp"
 
 namespace eccsim::dram {
 
@@ -119,6 +123,24 @@ class Channel {
   /// Row-buffer hit statistics (meaningful under open-page).
   std::uint64_t row_hits() const { return row_hits_; }
 
+  /// Statistics as they would look if the channel finalized at `now`:
+  /// stats() plus background-standby/power-down energy and residual
+  /// refresh energy integrated up to `now`.  Pure observation -- never
+  /// mutates, so peeking mid-run cannot perturb the simulation, and a
+  /// peek immediately before finalize(now) matches it exactly.
+  ChannelStats peek_stats(std::uint64_t now) const;
+
+  /// Registers this channel's observability stats in `reg` under
+  /// `prefix` (e.g. "dram.ch0"): polled gauges over the counters the
+  /// channel already keeps, push counters for ACTs (total and per bank),
+  /// refreshes, a read-latency histogram, and a queue-depth
+  /// distribution.  When `tracer` is non-null every issued command is
+  /// mirrored as a Chrome trace event on track `tracer_tid`.  Call once,
+  /// before traffic; `reg` and `tracer` must outlive the channel's use.
+  void attach_stats(stats::Registry& reg, const std::string& prefix,
+                    stats::Tracer* tracer = nullptr,
+                    std::uint32_t tracer_tid = 0);
+
  private:
   struct BankState {
     std::uint64_t next_act = 0;  ///< earliest cycle an ACT may issue
@@ -151,6 +173,22 @@ class Channel {
   /// schedules the completion.  Returns the data-finish cycle.
   std::uint64_t issue(const MemRequest& req, std::uint64_t now);
 
+  /// Background energy (pJ) one rank accrues over [from, until), given
+  /// its current active/standby/power-down phase boundaries.  Const: the
+  /// single source of truth shared by account_background (which also
+  /// advances the rank's accounting marker) and peek_stats (which must
+  /// not).  The active-standby and idle (precharge-standby + power-down)
+  /// contributions stay separate so both callers can accumulate them in
+  /// the exact order the original single-caller code did -- summing them
+  /// first would perturb the last ULP of the committed energy numbers.
+  struct BackgroundParts {
+    double active_pj = 0;
+    double idle_pj = 0;
+  };
+  BackgroundParts background_pj_between(const RankState& rank,
+                                        std::uint64_t from,
+                                        std::uint64_t until) const;
+
   /// Charges background energy for one rank up to `until`.
   void account_background(RankState& rank, std::uint64_t until);
 
@@ -180,6 +218,19 @@ class Channel {
 
   ChannelStats stats_;
   std::uint64_t row_hits_ = 0;
+
+  // Observability hooks (attach_stats): resolved once, null when stats
+  // are off so the hot path pays a single predictable branch.
+  struct StatHooks {
+    stats::Counter* acts = nullptr;
+    stats::Counter* refreshes = nullptr;
+    std::vector<stats::Counter*> bank_acts;  ///< rank-major, banks minor
+    stats::Histogram* read_latency = nullptr;
+    stats::Distribution* queue_depth = nullptr;
+  };
+  std::unique_ptr<StatHooks> hooks_;
+  stats::Tracer* tracer_ = nullptr;
+  std::uint32_t tracer_tid_ = 0;
 };
 
 }  // namespace eccsim::dram

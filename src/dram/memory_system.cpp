@@ -77,11 +77,10 @@ std::size_t MemorySystem::outstanding() const {
 }
 
 namespace {
-MemSystemStats aggregate(const std::vector<Channel>& channels) {
+MemSystemStats aggregate(const std::vector<ChannelStats>& channels) {
   MemSystemStats s;
   std::uint64_t lat_sum = 0;
-  for (const auto& ch : channels) {
-    const ChannelStats& cs = ch.stats();
+  for (const ChannelStats& cs : channels) {
     s.reads += cs.reads;
     s.writes += cs.writes;
     s.ecc_reads += cs.ecc_reads;
@@ -101,9 +100,28 @@ MemSystemStats MemorySystem::finalize() {
     for (auto& ch : channels_) ch.finalize(cycle_);
     finalized_ = true;
   }
-  return aggregate(channels_);
+  std::vector<ChannelStats> per_channel;
+  per_channel.reserve(channels_.size());
+  for (const auto& ch : channels_) per_channel.push_back(ch.stats());
+  return aggregate(per_channel);
 }
 
-MemSystemStats MemorySystem::peek_stats() const { return aggregate(channels_); }
+MemSystemStats MemorySystem::peek_stats() const {
+  // peek_stats() on each channel folds in the background/refresh energy a
+  // finalize() at cycle_ would charge, so peeking mid-run is consistent
+  // with the end-of-run report instead of lagging by the un-integrated
+  // standby energy.  After finalize() the channels' markers have caught
+  // up, so the extra integration is zero and the two reports agree.
+  std::vector<ChannelStats> per_channel;
+  per_channel.reserve(channels_.size());
+  for (const auto& ch : channels_) per_channel.push_back(ch.peek_stats(cycle_));
+  return aggregate(per_channel);
+}
+
+void MemorySystem::attach_stats(stats::Registry& reg, stats::Tracer* tracer) {
+  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+    channels_[c].attach_stats(reg, "dram.ch" + std::to_string(c), tracer, c);
+  }
+}
 
 }  // namespace eccsim::dram

@@ -102,8 +102,16 @@ class MemorySystem {
   /// Stops background-energy integration and aggregates statistics.
   MemSystemStats finalize();
 
-  /// Aggregate without finalizing (cheap, for progress inspection).
+  /// Aggregate as finalize() would report at the current cycle, without
+  /// finalizing: includes background and refresh energy integrated up to
+  /// now.  Never mutates; peek_stats() immediately before finalize()
+  /// returns identical numbers.
   MemSystemStats peek_stats() const;
+
+  /// Registers per-channel observability stats under "dram.ch<N>..." and,
+  /// when `tracer` is non-null, mirrors every DRAM command as a Chrome
+  /// trace event (track N = channel N).  Call once before traffic.
+  void attach_stats(stats::Registry& reg, stats::Tracer* tracer = nullptr);
 
  private:
   MemSystemConfig cfg_;

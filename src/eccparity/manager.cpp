@@ -326,4 +326,25 @@ double EccParityManager::materialized_fraction() const {
          static_cast<double>(data_.touched_lines());
 }
 
+void EccParityManager::attach_stats(stats::Registry& reg,
+                                    const std::string& prefix) {
+  const auto count = [&](const char* name, const std::uint64_t& field) {
+    reg.gauge(prefix + "." + name, [&field](std::uint64_t) {
+      return static_cast<double>(field);
+    });
+  };
+  count("reads", stats_.reads);
+  count("writes", stats_.writes);
+  count("errors_detected", stats_.errors_detected);
+  count("corrected_via_parity", stats_.corrected_via_parity);
+  count("corrected_via_materialized", stats_.corrected_via_materialized);
+  count("uncorrectable", stats_.uncorrectable);
+  count("pages_retired", stats_.pages_retired);
+  count("pairs_marked_faulty", stats_.pairs_marked_faulty);
+  count("lines_materialized", stats_.lines_materialized);
+  count("parity_groups_recomputed", stats_.parity_groups_recomputed);
+  reg.gauge(prefix + ".materialized_fraction",
+            [this](std::uint64_t) { return materialized_fraction(); });
+}
+
 }  // namespace eccsim::eccparity

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "ecc/memory_image.hpp"
 #include "eccparity/health.hpp"
 #include "eccparity/layout.hpp"
+#include "stats/stats.hpp"
 
 namespace eccsim::eccparity {
 
@@ -113,6 +115,11 @@ class EccParityManager {
 
   /// Fraction of (touched) lines whose correction bits are materialized.
   double materialized_fraction() const;
+
+  /// Registers polled gauges over this manager's rare-event counters under
+  /// `prefix` (e.g. "eccparity.mgr.corrected_via_parity").  Observation
+  /// only.  `reg` must outlive the manager's use.
+  void attach_stats(stats::Registry& reg, const std::string& prefix);
 
  private:
   std::vector<std::uint8_t> correction_of(std::span<const std::uint8_t> data)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "stats/scope.hpp"
+
 namespace eccsim::gf {
 
 template <unsigned Bits>
@@ -96,6 +98,7 @@ std::vector<typename ReedSolomon<Bits>::Symbol> ReedSolomon<Bits>::parity(
   if (data.size() != k_) {
     throw std::invalid_argument("ReedSolomon::parity: data size != k");
   }
+  STATS_SCOPE("codec.rs_encode");
   // Systematic encoding: c(x) = d(x) * x^{2t} + (d(x) * x^{2t} mod g(x)).
   Poly shifted(n_, 0);
   for (unsigned i = 0; i < k_; ++i) shifted[n_ - k_ + i] = data[i];
@@ -143,6 +146,7 @@ RsDecodeResult ReedSolomon<Bits>::decode(
   if (codeword.size() != n_) {
     throw std::invalid_argument("ReedSolomon::decode: codeword size != n");
   }
+  STATS_SCOPE("codec.rs_decode");
   RsDecodeResult result;
   const unsigned two_t = n_ - k_;
   if (erasures.size() > two_t) return result;  // beyond code capability

@@ -25,8 +25,11 @@ void append_escaped(std::string& out, const std::string& s) {
       case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
+          // All remaining control characters (C0 set) must be \u-escaped;
+          // go through unsigned char so %x never sees a sign-extended int.
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;
         } else {
           out += c;  // UTF-8 passes through byte-wise

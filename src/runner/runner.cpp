@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "runner/thread_pool.hpp"
+#include "stats/scope.hpp"
 
 namespace eccsim::runner {
 
@@ -69,6 +70,7 @@ std::string utc_timestamp() {
 }  // namespace
 
 Report run_cells(const std::vector<Cell>& cells, const RunOptions& opts) {
+  STATS_SCOPE("runner.run_cells");
   Report report;
   report.cells.resize(cells.size());
   const unsigned threads =
@@ -82,6 +84,7 @@ Report run_cells(const std::vector<Cell>& cells, const RunOptions& opts) {
     std::size_t done = 0;
     for (std::size_t i = 0; i < cells.size(); ++i) {
       pool.submit([&, i] {
+        STATS_SCOPE("runner.cell");
         const auto t0 = std::chrono::steady_clock::now();
         report.cells[i].result = cells[i].work();
         const auto t1 = std::chrono::steady_clock::now();

@@ -52,6 +52,84 @@ SystemSim::SystemSim(const ecc::SchemeDesc& scheme,
         scheme.correction_ratio * scheme.line_bytes);
     parity_layout_.emplace(mem_.config().geometry(), corr_bytes);
   }
+  attach_stats();
+}
+
+void SystemSim::attach_stats() {
+  if (!opts_.stats || !opts_.stats->config().enabled) return;
+  stats::Registry& reg = opts_.stats->registry();
+  streg_ = &reg;
+  tracer_ = opts_.stats->tracer();
+  epoch_cycles_ = opts_.stats->config().epoch_cycles;
+  next_epoch_ = epoch_cycles_;
+  reg.set_epoch_cycles(epoch_cycles_);
+
+  mem_.attach_stats(reg, tracer_);
+  llc_.attach_stats(reg, "llc");
+  if (dedicated_ecc_cache_) dedicated_ecc_cache_->attach_stats(reg, "ecc_cache");
+  reg.gauge("cpu.committed_instructions", [this](std::uint64_t) {
+    std::uint64_t total = 0;
+    for (const auto& c : cores_) total += c.committed;
+    return static_cast<double>(total);
+  });
+  if (scheme_.uses_ecc_parity) {
+    slow_path_hits_ = reg.counter("eccparity.fig6_slow_path_hits");
+  }
+  if (tracer_) {
+    // Tracks 0..channels-1 are the DRAM channels; the next one carries the
+    // manager-level ECC-parity instant events.
+    ecc_trace_tid_ = mem_.config().channels;
+    tracer_->set_thread_name(ecc_trace_tid_, "eccparity");
+  }
+}
+
+void SystemSim::finalize_stats() {
+  if (!streg_) return;
+  stats::Registry& reg = *streg_;
+  reg.finalize(mem_.cycle());
+
+  const auto& marks = reg.epoch_marks();
+  if (marks.empty()) return;
+  std::vector<double> epoch_len(marks.size());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    epoch_len[i] = static_cast<double>(marks[i] - prev);
+    prev = marks[i];
+  }
+  const std::vector<double>* instr =
+      reg.epoch_series("cpu.committed_instructions");
+
+  // Derived per-epoch series (Figs. 14/12 over time): per-channel data-bus
+  // utilization and memory energy per instruction.
+  std::vector<double> total_energy(marks.size(), 0.0);
+  for (std::uint32_t c = 0; c < mem_.config().channels; ++c) {
+    const std::string ch = "dram.ch" + std::to_string(c);
+    if (const auto* busy = reg.epoch_series(ch + ".busy_data_cycles")) {
+      std::vector<double> bw(busy->size(), 0.0);
+      for (std::size_t i = 0; i < bw.size(); ++i) {
+        bw[i] = epoch_len[i] > 0 ? (*busy)[i] / epoch_len[i] : 0.0;
+      }
+      reg.add_series("derived." + ch + ".bandwidth_utilization",
+                     std::move(bw));
+    }
+    if (const auto* pj = reg.epoch_series(ch + ".energy.total_pj")) {
+      for (std::size_t i = 0; i < pj->size(); ++i) total_energy[i] += (*pj)[i];
+      if (instr) {
+        std::vector<double> epi(pj->size(), 0.0);
+        for (std::size_t i = 0; i < epi.size(); ++i) {
+          epi[i] = (*instr)[i] > 0 ? (*pj)[i] / (*instr)[i] : 0.0;
+        }
+        reg.add_series("derived." + ch + ".epi_pj", std::move(epi));
+      }
+    }
+  }
+  if (instr) {
+    std::vector<double> epi(total_energy.size(), 0.0);
+    for (std::size_t i = 0; i < epi.size(); ++i) {
+      epi[i] = (*instr)[i] > 0 ? total_energy[i] / (*instr)[i] : 0.0;
+    }
+    reg.add_series("derived.epi_pj", std::move(epi));
+  }
 }
 
 bool SystemSim::bank_is_faulty(const dram::DramAddress& a) const {
@@ -214,6 +292,15 @@ bool SystemSim::execute_op(unsigned c, const trace::MemOp& op) {
                                  dram::LineClass::kEccCorrection,
                                  next_id_++});
       }
+      if (!warmup_) {
+        if (slow_path_hits_) slow_path_hits_->inc();
+        if (tracer_) {
+          tracer_->instant(
+              "eccparity", "fig6_slow_path", mem_.cycle(), ecc_trace_tid_,
+              {{"bank", static_cast<double>(faulty_key(daddr))},
+               {"ecc_cached", er.hit ? 1.0 : 0.0}});
+        }
+      }
     }
     return true;
   }
@@ -327,6 +414,10 @@ RunResult SystemSim::run() {
     for (unsigned k = 0; k < cpu_.cpu_cycles_per_mem_cycle; ++k) {
       cpu_cycle();
     }
+    if (epoch_cycles_ != 0 && mem_.cycle() >= next_epoch_) {
+      streg_->sample_epoch(mem_.cycle());
+      next_epoch_ += epoch_cycles_;
+    }
     if ((mem_.cycle() & 0x3FF) == 0) {
       committed_total = 0;
       for (const auto& c : cores_) committed_total += c.committed;
@@ -340,6 +431,10 @@ RunResult SystemSim::run() {
     mem_.tick();
     handle_completions();
     drain_pending();
+    if (epoch_cycles_ != 0 && mem_.cycle() >= next_epoch_) {
+      streg_->sample_epoch(mem_.cycle());
+      next_epoch_ += epoch_cycles_;
+    }
     ++guard;
   }
 
@@ -368,6 +463,7 @@ RunResult SystemSim::run() {
       (static_cast<double>(scheme_.channels) *
        static_cast<double>(run_cycles));
   result.avg_read_latency = result.mem.avg_read_latency;
+  finalize_stats();
   return result;
 }
 

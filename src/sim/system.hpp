@@ -33,6 +33,8 @@
 #include "dram/memory_system.hpp"
 #include "ecc/scheme.hpp"
 #include "eccparity/layout.hpp"
+#include "stats/stats.hpp"
+#include "stats/trace.hpp"
 #include "trace/workload.hpp"
 
 namespace eccsim::sim {
@@ -68,6 +70,14 @@ struct SimOptions {
   /// cache; the paper's methodology moves ECC lines into the 8 MB LLC
   /// (Sec. IV-C) -- this knob quantifies that choice.
   std::uint64_t dedicated_ecc_cache_bytes = 0;
+  /// Observability sink for this run (optional).  When set and enabled,
+  /// the simulator registers every component's stats in the collector's
+  /// registry under stable dotted paths, samples the registry every
+  /// Config::epoch_cycles memory cycles, and mirrors DRAM commands and
+  /// ECC-parity slow-path events into the collector's tracer.
+  /// Observation only: simulated results are bit-identical with or
+  /// without it.  Must outlive run(); one collector per SystemSim.
+  stats::Collector* stats = nullptr;
 };
 
 /// Everything a run produces.  Plain data: serialized to CSV by the bench
@@ -164,6 +174,15 @@ class SystemSim {
     return dedicated_ecc_cache_ ? *dedicated_ecc_cache_ : llc_;
   }
 
+  // Observability (SimOptions::stats) ---------------------------------------
+  /// Registers components in the collector's registry; no-op when stats
+  /// are off, so the members below stay null and the hot paths pay one
+  /// predictable branch.
+  void attach_stats();
+  /// Final epoch sample, gauge capture, and the derived per-channel
+  /// bandwidth / EPI epoch series.
+  void finalize_stats();
+
   ecc::SchemeDesc scheme_;
   CpuConfig cpu_;
   SimOptions opts_;
@@ -182,6 +201,14 @@ class SystemSim {
   std::unordered_map<std::uint64_t, std::uint64_t> id_to_memline_;
   std::unordered_map<std::uint64_t, std::uint64_t> ecc_key_to_index_;
   std::vector<std::uint64_t> ecc_index_to_key_;
+
+  // Observability state: all null/zero when SimOptions::stats is unset.
+  stats::Registry* streg_ = nullptr;
+  stats::Tracer* tracer_ = nullptr;
+  stats::Counter* slow_path_hits_ = nullptr;
+  std::uint32_t ecc_trace_tid_ = 0;
+  std::uint64_t epoch_cycles_ = 0;
+  std::uint64_t next_epoch_ = 0;
 };
 
 /// Convenience: run one (scheme, scale, workload) experiment -- the unit

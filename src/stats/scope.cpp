@@ -1,0 +1,77 @@
+#include "stats/scope.hpp"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace eccsim::stats {
+
+namespace {
+
+/// Per-thread accumulation buffer.  The buffer's own mutex is only
+/// contended when snapshot()/reset() run concurrently with that thread,
+/// so the common record() path pays an uncontended lock.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::unordered_map<const char*, ScopeTotals> by_site;
+};
+
+std::mutex& buffers_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>>& buffers() {
+  static std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+  return bufs;
+}
+
+ThreadBuffer& local_buffer() {
+  // shared_ptr keeps the buffer alive past thread exit so pool workers'
+  // samples survive until the main thread snapshots.
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(buffers_mu());
+    buffers().push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+void Profiler::record(const char* name, double seconds) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  ScopeTotals& t = buf.by_site[name];
+  ++t.calls;
+  t.seconds += seconds;
+}
+
+std::vector<std::pair<std::string, ScopeTotals>> Profiler::snapshot() {
+  std::map<std::string, ScopeTotals> merged;
+  {
+    std::lock_guard<std::mutex> lock(buffers_mu());
+    for (const auto& buf : buffers()) {
+      std::lock_guard<std::mutex> inner(buf->mu);
+      for (const auto& [name, totals] : buf->by_site) {
+        ScopeTotals& t = merged[name];
+        t.calls += totals.calls;
+        t.seconds += totals.seconds;
+      }
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(buffers_mu());
+  for (const auto& buf : buffers()) {
+    std::lock_guard<std::mutex> inner(buf->mu);
+    buf->by_site.clear();
+  }
+}
+
+}  // namespace eccsim::stats

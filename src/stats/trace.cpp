@@ -1,0 +1,148 @@
+#include "stats/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hpp"  // write_file
+
+namespace eccsim::stats {
+
+namespace {
+
+/// Minimal JSON string escape; names here are controlled ASCII but the
+/// writer must never emit malformed JSON whatever it is handed.
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  char buf[32];
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      d < 9e15 && d > -9e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::string path, std::uint64_t max_events)
+    : path_(std::move(path)), max_events_(max_events) {
+  events_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(max_events_, 1 << 16)));
+}
+
+void Tracer::set_thread_name(std::uint32_t tid, std::string name) {
+  thread_names_.emplace_back(tid, std::move(name));
+}
+
+bool Tracer::record(const Event& e) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(e);
+  return true;
+}
+
+void Tracer::duration(const char* cat, const char* name,
+                      std::uint64_t begin_cycle, std::uint64_t end_cycle,
+                      std::uint32_t tid, std::initializer_list<Arg> args) {
+  Event e{cat, name, 'X', begin_cycle,
+          end_cycle > begin_cycle ? end_cycle - begin_cycle : 0, tid,
+          {}, 0};
+  for (const Arg& a : args) {
+    if (e.nargs < e.args.size()) e.args[e.nargs++] = a;
+  }
+  record(e);
+}
+
+void Tracer::instant(const char* cat, const char* name, std::uint64_t cycle,
+                     std::uint32_t tid, std::initializer_list<Arg> args) {
+  Event e{cat, name, 'i', cycle, 0, tid, {}, 0};
+  for (const Arg& a : args) {
+    if (e.nargs < e.args.size()) e.args[e.nargs++] = a;
+  }
+  record(e);
+}
+
+bool Tracer::write() const {
+  // One memory cycle = 1/clock_ghz nanoseconds; trace "ts" is micros.
+  const double us_per_cycle = 0.001 / clock_ghz_;
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out += "{\n\"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+    out += "\n";
+  };
+  for (const auto& [tid, name] : thread_names_) {
+    sep();
+    out += "{\"ph\": \"M\", \"pid\": 0, \"tid\": ";
+    append_number(out, tid);
+    out += ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    append_escaped(out, name);
+    out += "}}";
+  }
+  char buf[64];
+  for (const auto& e : events_) {
+    sep();
+    out += "{\"ph\": \"";
+    out += e.ph;
+    out += "\", \"pid\": 0, \"tid\": ";
+    append_number(out, e.tid);
+    out += ", \"ts\": ";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(e.ts_cycle) * us_per_cycle);
+    out += buf;
+    if (e.ph == 'X') {
+      out += ", \"dur\": ";
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(e.dur_cycles) * us_per_cycle);
+      out += buf;
+    } else if (e.ph == 'i') {
+      out += ", \"s\": \"t\"";  // thread-scoped instant
+    }
+    out += ", \"cat\": ";
+    append_escaped(out, e.cat);
+    out += ", \"name\": ";
+    append_escaped(out, e.name);
+    if (e.nargs > 0) {
+      out += ", \"args\": {";
+      for (unsigned i = 0; i < e.nargs; ++i) {
+        if (i) out += ", ";
+        append_escaped(out, e.args[i].key);
+        out += ": ";
+        append_number(out, e.args[i].value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ns\",\n\"otherData\": {\"dropped\": ";
+  append_number(out, static_cast<double>(dropped_));
+  out += "}\n}\n";
+  return write_file(path_, out);
+}
+
+}  // namespace eccsim::stats

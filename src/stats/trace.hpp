@@ -1,0 +1,81 @@
+// Chrome trace-event exporter (the JSON Array / "JSON Object" format that
+// chrome://tracing and Perfetto load natively).
+//
+// The tracer records DRAM command bursts and ECC-parity events as complete
+// ("X") and instant ("i") events keyed by simulated memory-clock cycles
+// (1 GHz => 1 cycle = 1 ns).  It is rate-limited: after `max_events`
+// events it drops the rest and counts them, so a pathological run can
+// never fill the disk.  Off by default; enabled per run via STATS_TRACE
+// (see stats::Config).
+//
+// Single-owner like the Registry: one worker records, the main thread
+// calls write() after the fan-out.  Event name/category strings must be
+// string literals (the tracer stores the pointers, not copies).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eccsim::stats {
+
+class Tracer {
+ public:
+  /// A small numeric event argument (rendered into the "args" object).
+  struct Arg {
+    const char* key;
+    double value;
+  };
+
+  explicit Tracer(std::string path, std::uint64_t max_events = 200'000);
+
+  const std::string& path() const { return path_; }
+
+  /// Simulated clock in GHz; converts cycles to trace microseconds.
+  void set_clock_ghz(double ghz) { clock_ghz_ = ghz; }
+
+  /// Names the track (tid) in the trace viewer, e.g. "dram.ch0".
+  void set_thread_name(std::uint32_t tid, std::string name);
+
+  /// Complete event spanning [begin_cycle, end_cycle].
+  void duration(const char* cat, const char* name, std::uint64_t begin_cycle,
+                std::uint64_t end_cycle, std::uint32_t tid,
+                std::initializer_list<Arg> args = {});
+
+  /// Instant (zero-duration) event.
+  void instant(const char* cat, const char* name, std::uint64_t cycle,
+               std::uint32_t tid, std::initializer_list<Arg> args = {});
+
+  std::uint64_t recorded() const { return events_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Writes the trace file (creating parent directories); returns false
+  /// on I/O failure.  Idempotent: later calls rewrite the same contents.
+  bool write() const;
+
+ private:
+  struct Event {
+    const char* cat;
+    const char* name;
+    char ph;  ///< 'X' complete, 'i' instant
+    std::uint64_t ts_cycle;
+    std::uint64_t dur_cycles;
+    std::uint32_t tid;
+    std::array<Arg, 2> args;
+    unsigned nargs;
+  };
+
+  bool record(const Event& e);
+
+  std::string path_;
+  std::uint64_t max_events_;
+  double clock_ghz_ = 1.0;
+  std::vector<Event> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace eccsim::stats

@@ -386,6 +386,49 @@ TEST(MemorySystem, FinalizeAggregatesEnergy) {
   EXPECT_GT(s.energy.total_pj(), s.energy.dynamic_pj());
 }
 
+TEST(MemorySystem, PeekMatchesFinalizeExactly) {
+  // peek_stats() is the observation path the stats gauges poll; it must
+  // report precisely what finalize() is about to, including residual
+  // refresh energy and background energy integrated to the current cycle
+  // -- and it must not advance any accounting state while doing so.
+  MemorySystem mem(small_system());
+  for (unsigned i = 0; i < 48; ++i) {
+    ASSERT_TRUE(mem.enqueue_line(i * 192 + 7, i % 3 == 0,
+                                 i % 5 == 0 ? LineClass::kEccParity
+                                            : LineClass::kData,
+                                 i));
+  }
+  while (mem.outstanding() > 0) mem.tick();
+  // Idle long enough to cross several refresh intervals so the residual
+  // refresh/background terms are nonzero.
+  const std::uint64_t idle_until =
+      mem.cycle() + 4 * small_system().device.timing.tREFI;
+  while (mem.cycle() < idle_until) mem.tick();
+
+  const MemSystemStats peeked = mem.peek_stats();
+  const MemSystemStats repeeked = mem.peek_stats();  // peeking is idempotent
+  const MemSystemStats fin = mem.finalize();
+
+  EXPECT_EQ(peeked.reads, fin.reads);
+  EXPECT_EQ(peeked.writes, fin.writes);
+  EXPECT_EQ(peeked.ecc_reads, fin.ecc_reads);
+  EXPECT_EQ(peeked.avg_read_latency, fin.avg_read_latency);
+  // Bit-exact energy equality: peek and finalize share the same
+  // integration code and accumulation order.
+  EXPECT_EQ(peeked.energy.activate_pj, fin.energy.activate_pj);
+  EXPECT_EQ(peeked.energy.refresh_pj, fin.energy.refresh_pj);
+  EXPECT_EQ(peeked.energy.background_pj, fin.energy.background_pj);
+  EXPECT_EQ(peeked.energy.total_pj(), fin.energy.total_pj());
+  EXPECT_EQ(repeeked.energy.total_pj(), peeked.energy.total_pj());
+  EXPECT_GT(fin.energy.refresh_pj, 0.0);
+  EXPECT_GT(fin.energy.background_pj, 0.0);
+
+  // finalize() is idempotent: a second call reports the same totals.
+  const MemSystemStats again = mem.finalize();
+  EXPECT_EQ(again.energy.total_pj(), fin.energy.total_pj());
+  EXPECT_EQ(again.reads, fin.reads);
+}
+
 TEST(MemorySystem, Access64bNormalization) {
   MemSystemStats s;
   s.reads = 10;

@@ -225,6 +225,37 @@ TEST(JsonTest, ParseRejectsMalformedInput) {
   EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
 }
 
+TEST(JsonTest, EscapesEveryControlCharacter) {
+  // Every byte below 0x20 must be escaped -- a raw control character in
+  // the output is invalid JSON (stats paths and workload names flow
+  // through here unsanitized).
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string s(1, static_cast<char>(c));
+    const std::string text = Json(s).dump();
+    for (char ch : text) {
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u)
+          << "raw control byte " << c << " leaked into: " << text;
+    }
+    EXPECT_EQ(Json::parse(text).as_string(), s) << "control byte " << c;
+  }
+}
+
+TEST(JsonTest, RandomStringsRoundTripExactly) {
+  // Fuzz dump->parse over random byte strings drawn from the full
+  // 7-bit range plus control characters (multi-byte UTF-8 passes through
+  // untouched, so bytes < 0x80 are the interesting surface).
+  eccsim::Rng rng(0xfadedfacadeULL);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string s;
+    const std::uint64_t len = rng.next_below(40);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.next_below(0x80)));
+    }
+    const Json back = Json::parse(Json(s).dump());
+    EXPECT_EQ(back.as_string(), s) << "iteration " << iter;
+  }
+}
+
 // --- Report JSON -----------------------------------------------------------
 
 TEST(ReportJsonTest, RoundTripCarriesAllCells) {
