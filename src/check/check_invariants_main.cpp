@@ -1,0 +1,33 @@
+// Self-test binary for the verification layer (docs/VERIFICATION.md).
+//
+// Runs every invariant checker -- address-map bijection, parity-layout
+// group/channel-disjointness, Fig. 6 health-table discipline, RS codec
+// round-trips under random corruption -- and exits nonzero if any check
+// fails.  `--full` raises the sample counts (CI uses the default).
+#include <cstdio>
+#include <cstring>
+
+#include "check/invariants.hpp"
+
+int main(int argc, char** argv) {
+  bool thorough = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      thorough = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      thorough = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick|--full]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const eccsim::check::CheckResult res = eccsim::check::check_all(thorough);
+  std::printf("%s: %llu checks, %zu failure(s)\n", res.name.c_str(),
+              static_cast<unsigned long long>(res.checks),
+              res.failures.size());
+  for (const auto& f : res.failures) {
+    std::printf("  FAIL %s\n", f.c_str());
+  }
+  return res.ok() ? 0 : 1;
+}

@@ -1,0 +1,458 @@
+#include "check/invariants.hpp"
+
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "eccparity/health.hpp"
+#include "eccparity/layout.hpp"
+#include "gf/rs.hpp"
+
+namespace eccsim::check {
+
+namespace {
+
+/// Checkers cap stored failure text so a systematic break does not flood
+/// the report; CheckResult::checks still counts every check performed.
+constexpr std::size_t kMaxFailures = 64;
+
+void add_failure(CheckResult& res, const std::string& what) {
+  if (res.failures.size() < kMaxFailures) {
+    res.failures.push_back(what);
+  } else if (res.failures.size() == kMaxFailures) {
+    res.failures.push_back("... further failures suppressed");
+  }
+}
+
+std::string describe(const dram::MemGeometry& geom) {
+  std::ostringstream os;
+  os << geom.channels << "ch x " << geom.ranks_per_channel << "rk x "
+     << geom.banks_per_rank << "bk x " << geom.rows_per_bank << "rows";
+  return os.str();
+}
+
+/// Visits every line when the space is small enough to sweep exhaustively,
+/// else the boundary lines plus a fixed-seed uniform sample.
+template <typename Fn>
+void for_each_line(std::uint64_t total, std::uint64_t samples,
+                   std::uint64_t max_exhaustive, Fn&& fn) {
+  if (total <= max_exhaustive) {
+    for (std::uint64_t i = 0; i < total; ++i) fn(i);
+    return;
+  }
+  fn(0);
+  fn(total - 1);
+  Rng rng(0x1AE5EEDULL);
+  for (std::uint64_t s = 0; s < samples; ++s) fn(rng.next_below(total));
+}
+
+std::string format_addr(const dram::DramAddress& a) {
+  std::ostringstream os;
+  os << "(ch " << a.channel << ", rk " << a.rank << ", bk " << a.bank
+     << ", row " << a.row << ", col " << a.col << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void CheckResult::merge(const CheckResult& other) {
+  checks += other.checks;
+  for (const auto& f : other.failures) {
+    add_failure(*this, other.name + ": " + f);
+  }
+}
+
+CheckResult check_address_map(const dram::MemGeometry& geom,
+                              std::uint64_t samples,
+                              std::uint64_t max_exhaustive) {
+  CheckResult res;
+  res.name = "address_map[" + describe(geom) + "]";
+  const dram::AddressMap map(geom);
+  const std::uint64_t total = geom.total_data_lines();
+  const std::uint32_t lpr = geom.lines_per_row();
+
+  // Forward direction: every line decodes to an in-range address that
+  // encodes back to the same line (decode is injective and right-inverse
+  // of encode).
+  for_each_line(total, samples, max_exhaustive, [&](std::uint64_t line) {
+    const dram::DramAddress a = map.decode(line);
+    ++res.checks;
+    if (a.channel >= geom.channels || a.rank >= geom.ranks_per_channel ||
+        a.bank >= geom.banks_per_rank || a.row >= geom.rows_per_bank ||
+        a.col >= lpr) {
+      add_failure(res, "line " + std::to_string(line) +
+                           " decodes out of range: " + format_addr(a));
+      return;
+    }
+    const std::uint64_t back = map.encode(a);
+    ++res.checks;
+    if (back != line) {
+      add_failure(res, "encode(decode(" + std::to_string(line) +
+                           ")) = " + std::to_string(back));
+    }
+  });
+
+  // Reverse direction: every in-range address encodes to an in-range line
+  // that decodes back to the same address (encode is injective and
+  // right-inverse of decode, completing the bijection).
+  Rng rng(0xADD2E55ULL);
+  const std::uint64_t addr_samples =
+      total <= max_exhaustive ? 0 : samples / 4;
+  for (std::uint64_t s = 0; s < addr_samples; ++s) {
+    dram::DramAddress a;
+    a.channel = static_cast<std::uint32_t>(rng.next_below(geom.channels));
+    a.rank =
+        static_cast<std::uint32_t>(rng.next_below(geom.ranks_per_channel));
+    a.bank = static_cast<std::uint32_t>(rng.next_below(geom.banks_per_rank));
+    a.row = rng.next_below(geom.rows_per_bank);
+    a.col = static_cast<std::uint32_t>(rng.next_below(lpr));
+    const std::uint64_t line = map.encode(a);
+    ++res.checks;
+    if (line >= total) {
+      add_failure(res, "address " + format_addr(a) +
+                           " encodes out of range: " + std::to_string(line));
+      continue;
+    }
+    ++res.checks;
+    if (!(map.decode(line) == a)) {
+      add_failure(res, "decode(encode(" + format_addr(a) +
+                           ")) = " + format_addr(map.decode(line)));
+    }
+  }
+  return res;
+}
+
+CheckResult check_parity_layout(const dram::MemGeometry& geom,
+                                unsigned corr_bytes, std::uint64_t samples,
+                                std::uint64_t max_exhaustive) {
+  CheckResult res;
+  res.name = "parity_layout[" + describe(geom) + ", corr " +
+             std::to_string(corr_bytes) + "B]";
+  const eccparity::ParityLayout layout(geom, corr_bytes);
+  const dram::AddressMap map(geom);
+  const std::uint64_t total = geom.total_data_lines();
+  const std::uint32_t n = geom.channels;
+  const std::uint32_t lpr = geom.lines_per_row();
+  const std::uint64_t reserved = layout.reserved_rows_per_bank();
+
+  // Sec. III-E capacity bound: the reserved window must fit
+  // (1 + 12.5%) * R / (N-1) of the data rows, and still leave data rows.
+  const double ratio = static_cast<double>(corr_bytes) /
+                       static_cast<double>(geom.line_bytes);
+  const double needed = 1.125 * ratio *
+                        static_cast<double>(geom.rows_per_bank) /
+                        static_cast<double>(n - 1);
+  ++res.checks;
+  if (static_cast<double>(reserved) < needed) {
+    add_failure(res, "reserved rows " + std::to_string(reserved) +
+                         " below the Sec. III-E bound");
+  }
+  ++res.checks;
+  if (reserved >= geom.rows_per_bank) {
+    add_failure(res, "reserved rows swallow the whole bank");
+  }
+
+  for_each_line(total, samples, max_exhaustive, [&](std::uint64_t line) {
+    const eccparity::GroupId gid = layout.group_of(line);
+    const std::vector<eccparity::Member> mems = layout.members(gid);
+
+    // Membership: the line appears in its own group exactly once, every
+    // member maps back to the same group, member channels are pairwise
+    // distinct and consistent with the address map.
+    unsigned self = 0;
+    std::uint64_t channel_mask = 0;
+    for (const eccparity::Member& m : mems) {
+      if (m.line_index == line) ++self;
+      ++res.checks;
+      if (!(layout.group_of(m.line_index) == gid)) {
+        add_failure(res, "member " + std::to_string(m.line_index) +
+                             " of line " + std::to_string(line) +
+                             "'s group maps to a different group");
+      }
+      ++res.checks;
+      if (m.channel >= n ||
+          map.decode(m.line_index).channel != m.channel) {
+        add_failure(res, "member " + std::to_string(m.line_index) +
+                             " carries wrong channel " +
+                             std::to_string(m.channel));
+      } else if (channel_mask & (1ULL << m.channel)) {
+        add_failure(res, "group of line " + std::to_string(line) +
+                             " repeats channel " + std::to_string(m.channel));
+      } else {
+        channel_mask |= 1ULL << m.channel;
+      }
+    }
+    ++res.checks;
+    if (self != 1) {
+      add_failure(res, "line " + std::to_string(line) + " appears " +
+                           std::to_string(self) + " times in its own group");
+    }
+    ++res.checks;
+    if (mems.empty() || mems.size() > n - 1) {
+      add_failure(res, "group of line " + std::to_string(line) + " has " +
+                           std::to_string(mems.size()) + " members");
+    }
+
+    // Single-channel-failure guarantee: the parity lives in a channel no
+    // member occupies, inside the reserved rows, at a legal address, and
+    // never on top of a member's data line.
+    const std::uint32_t pc = layout.parity_channel(gid);
+    ++res.checks;
+    if (pc >= n || (channel_mask & (1ULL << pc))) {
+      add_failure(res, "parity channel " + std::to_string(pc) +
+                           " collides with a member of line " +
+                           std::to_string(line) + "'s group");
+    }
+    const dram::DramAddress pa = layout.parity_line_address(gid);
+    ++res.checks;
+    if (pa.channel != pc || pa.rank >= geom.ranks_per_channel ||
+        pa.bank >= geom.banks_per_rank || pa.col >= lpr ||
+        pa.row < geom.rows_per_bank - reserved ||
+        pa.row >= geom.rows_per_bank) {
+      add_failure(res, "parity address " + format_addr(pa) +
+                           " outside the reserved window");
+    }
+    for (const eccparity::Member& m : mems) {
+      ++res.checks;
+      if (map.decode(m.line_index) == pa) {
+        add_failure(res, "parity of line " + std::to_string(line) +
+                             "'s group overlaps member data at " +
+                             format_addr(pa));
+      }
+    }
+
+    // XOR-cacheline keys (Sec. IV-C): namespaced away from line indices,
+    // constant on each slot quad, and shared across a primary group.
+    const std::uint64_t key = layout.xor_cacheline_key(line);
+    ++res.checks;
+    if (!(key >> 62 & 1) || key == line) {
+      add_failure(res, "XOR key of line " + std::to_string(line) +
+                           " is not namespaced");
+    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(line % lpr);
+    const std::uint64_t quad_base = line - (slot % 4);
+    for (std::uint32_t q = 0; q < 4 && (slot - slot % 4) + q < lpr; ++q) {
+      ++res.checks;
+      if (layout.xor_cacheline_key(quad_base + q) != key) {
+        add_failure(res, "XOR key differs within the slot quad of line " +
+                             std::to_string(line));
+      }
+    }
+    if (slot + 4 < lpr) {
+      ++res.checks;
+      if (layout.xor_cacheline_key(line + 4) == key) {
+        add_failure(res, "XOR key fails to change across quads at line " +
+                             std::to_string(line));
+      }
+    }
+    if (!gid.leftover) {
+      for (const eccparity::Member& m : mems) {
+        ++res.checks;
+        if (layout.xor_cacheline_key(m.line_index) != key) {
+          add_failure(res,
+                      "XOR key differs across the primary group of line " +
+                          std::to_string(line));
+        }
+      }
+    }
+  });
+  return res;
+}
+
+CheckResult check_health_table(unsigned threshold) {
+  CheckResult res;
+  res.name = "health_table[threshold " + std::to_string(threshold) + "]";
+  eccparity::BankHealthTable table(threshold);
+
+  dram::DramAddress even;  // bank 4 -> pair 2
+  even.channel = 1;
+  even.rank = 0;
+  even.bank = 4;
+  dram::DramAddress odd = even;  // bank 5 -> the same pair
+  odd.bank = 5;
+  dram::DramAddress other = even;  // bank 6 -> a different pair
+  other.bank = 6;
+  const eccparity::BankPairId pair =
+      eccparity::BankHealthTable::pair_of(even);
+
+  ++res.checks;
+  if (!(eccparity::BankHealthTable::pair_of(odd) == pair)) {
+    add_failure(res, "banks 2k and 2k+1 map to different pairs");
+  }
+  ++res.checks;
+  if (eccparity::BankHealthTable::pair_of(other) == pair) {
+    add_failure(res, "banks 2k and 2k+2 share a pair");
+  }
+
+  // Fig. 6 discipline: the first threshold-1 errors each retire a page and
+  // advance the shared pair counter by one (alternating the two banks of
+  // the pair to prove they share it); the threshold-th marks the pair
+  // faulty; everything after reports it as already faulty.
+  for (unsigned i = 1; i < threshold; ++i) {
+    const eccparity::ErrorAction act =
+        table.record_error(i % 2 ? even : odd);
+    ++res.checks;
+    if (act != eccparity::ErrorAction::kRetirePage) {
+      add_failure(res, "error " + std::to_string(i) +
+                           " below threshold did not retire a page");
+    }
+    ++res.checks;
+    if (table.error_count(pair) != i || table.is_faulty(even)) {
+      add_failure(res, "pair counter wrong after error " + std::to_string(i));
+    }
+  }
+  const eccparity::ErrorAction at =
+      table.record_error(threshold % 2 ? even : odd);
+  ++res.checks;
+  if (at != eccparity::ErrorAction::kMarkFaulty || !table.is_faulty(even) ||
+      !table.is_faulty(odd) || table.faulty_pairs() != 1) {
+    add_failure(res, "threshold-th error did not mark the pair faulty");
+  }
+  for (unsigned i = 0; i < 3; ++i) {
+    ++res.checks;
+    if (table.record_error(even) != eccparity::ErrorAction::kAlreadyFaulty ||
+        !table.is_faulty(even)) {
+      add_failure(res, "faulty state is not absorbing");
+    }
+  }
+  ++res.checks;
+  if (table.is_faulty(other) || table.error_count(
+          eccparity::BankHealthTable::pair_of(other)) != 0) {
+    add_failure(res, "errors leaked into an unrelated pair");
+  }
+
+  // Direct marking (scrub-identified fault) skips the counter entirely.
+  table.mark_faulty(eccparity::BankHealthTable::pair_of(other));
+  ++res.checks;
+  if (!table.is_faulty(other) ||
+      table.record_error(other) != eccparity::ErrorAction::kAlreadyFaulty) {
+    add_failure(res, "mark_faulty did not take effect");
+  }
+
+  // Sec. III-E headline number: 512 B of SRAM for a 1024-bank system.
+  ++res.checks;
+  if (eccparity::BankHealthTable::sram_bytes(1024) != 512.0) {
+    add_failure(res, "sram_bytes(1024) != 512");
+  }
+  return res;
+}
+
+namespace {
+
+template <unsigned Bits>
+void rs_case(CheckResult& res, unsigned n, unsigned k, unsigned trials,
+             Rng& rng) {
+  const gf::ReedSolomon<Bits> code(n, k);
+  using Symbol = typename gf::ReedSolomon<Bits>::Symbol;
+  const std::uint64_t q = 1ULL << Bits;
+  const unsigned two_t = n - k;
+  const std::string tag =
+      "RS(" + std::to_string(n) + "," + std::to_string(k) + ")/GF(2^" +
+      std::to_string(Bits) + ")";
+
+  std::vector<Symbol> data(k);
+  for (unsigned nu = 0; 2 * nu <= two_t; ++nu) {
+    for (unsigned e = 0; 2 * nu + e <= two_t; ++e) {
+      for (unsigned trial = 0; trial < trials; ++trial) {
+        for (auto& s : data) s = static_cast<Symbol>(rng.next_below(q));
+        const std::vector<Symbol> codeword = code.encode(data);
+        ++res.checks;
+        if (!code.check(codeword)) {
+          add_failure(res, tag + ": fresh codeword fails check()");
+          return;  // the codec is broken; further loads add no signal
+        }
+
+        // Corrupt nu + e distinct positions, each by a nonzero delta, and
+        // declare the first e of them as erasures.
+        std::vector<Symbol> corrupted = codeword;
+        std::vector<unsigned> positions;
+        while (positions.size() < static_cast<std::size_t>(nu) + e) {
+          const unsigned pos =
+              static_cast<unsigned>(rng.next_below(n));
+          bool dup = false;
+          for (unsigned p : positions) dup = dup || p == pos;
+          if (!dup) positions.push_back(pos);
+        }
+        for (unsigned pos : positions) {
+          const Symbol delta =
+              static_cast<Symbol>(1 + rng.next_below(q - 1));
+          corrupted[pos] = static_cast<Symbol>(corrupted[pos] ^ delta);
+        }
+        const std::vector<unsigned> erasures(positions.begin(),
+                                             positions.begin() + e);
+
+        const gf::RsDecodeResult r =
+            code.decode(std::span<Symbol>(corrupted),
+                        std::span<const unsigned>(erasures));
+        const std::string load = tag + " nu=" + std::to_string(nu) +
+                                 " e=" + std::to_string(e) + " trial " +
+                                 std::to_string(trial);
+        ++res.checks;
+        if (!r.ok) {
+          add_failure(res, load + ": decode reported failure");
+          continue;
+        }
+        ++res.checks;
+        if (corrupted != codeword) {
+          add_failure(res, load + ": decode did not restore the codeword");
+        }
+        ++res.checks;
+        if ((nu + e > 0) != r.detected_error) {
+          add_failure(res, load + ": detected_error inconsistent");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_rs_roundtrip(unsigned trials_per_load, std::uint64_t seed) {
+  CheckResult res;
+  res.name = "rs_roundtrip";
+  Rng rng(seed);
+  // The paper's code shapes: 36- and 18-device commercial chipkill over
+  // GF(2^8), and a wide-symbol configuration over GF(2^16).
+  rs_case<8>(res, 36, 32, trials_per_load, rng);
+  rs_case<8>(res, 18, 16, trials_per_load, rng);
+  rs_case<16>(res, 10, 8, trials_per_load, rng);
+  return res;
+}
+
+CheckResult check_all(bool thorough) {
+  CheckResult all;
+  all.name = "invariants";
+  const std::uint64_t line_samples = thorough ? 200'000 : 20'000;
+  const std::uint64_t layout_samples = thorough ? 100'000 : 10'000;
+  const std::uint64_t exhaustive = thorough ? 1'000'000 : 200'000;
+
+  // Small geometries are swept exhaustively; the paper-scale quad-channel
+  // system (32768 rows/bank) is sampled.
+  std::vector<dram::MemGeometry> geoms(4);
+  geoms[0].channels = 4;
+  geoms[0].rows_per_bank = 64;
+  geoms[1].channels = 2;
+  geoms[1].ranks_per_channel = 2;
+  geoms[1].rows_per_bank = 64;
+  geoms[2].channels = 3;  // N-1 shares no factor with N: leftover rotation
+  geoms[2].rows_per_bank = 48;
+  geoms[3].channels = 4;
+  geoms[3].rows_per_bank = 32768;
+
+  for (const dram::MemGeometry& geom : geoms) {
+    all.merge(check_address_map(geom, line_samples, exhaustive));
+    // Correction ratios the paper evaluates: 6.25% (4 B), 12.5% (8 B),
+    // 25% (16 B) of a 64 B line.
+    for (unsigned corr : {4u, 8u, 16u}) {
+      all.merge(check_parity_layout(geom, corr, layout_samples, exhaustive));
+    }
+  }
+  for (unsigned threshold : {2u, 4u, 8u}) {
+    all.merge(check_health_table(threshold));
+  }
+  all.merge(check_rs_roundtrip(thorough ? 24 : 6));
+  return all;
+}
+
+}  // namespace eccsim::check

@@ -1,0 +1,81 @@
+// ECC Parity layout, health-table, and codec invariant checkers
+// (verification layer, Sec. III of the paper).
+//
+// Each checker independently re-verifies a structural property the ECC
+// Parity mechanism relies on, from the public interfaces alone:
+//
+//   check_address_map     the linear-line <-> DramAddress mapping is a
+//                         bijection (decode/encode round-trip both ways)
+//   check_parity_layout   every data line belongs to exactly one parity
+//                         group and appears in that group's member list
+//                         exactly once; group members occupy pairwise
+//                         distinct channels; the parity line's channel is
+//                         distinct from every member's channel and its
+//                         address never coincides with a member's address
+//                         (no data/parity overlap within a group -- the
+//                         single-channel-failure guarantee of Sec. III-A);
+//                         parity rows stay inside the reserved window and
+//                         the reserved-row count satisfies the
+//                         (1 + 12.5%) * R / (N-1) bound of Sec. III-E;
+//                         XOR-cacheline keys are namespaced away from line
+//                         indices and constant exactly on slot quads
+//   check_health_table    bank-pair error bookkeeping follows the Fig. 6
+//                         state machine: below-threshold errors retire
+//                         pages with a monotone counter, the threshold-th
+//                         error marks the pair faulty exactly once, and
+//                         the faulty state is absorbing
+//   check_rs_roundtrip    the RS codec corrects every (errors, erasures)
+//                         load with 2*nu + e <= 2t back to the original
+//                         codeword under randomized corruption
+//
+// All checkers are deterministic (fixed seeds), return a CheckResult
+// instead of asserting, and are run together by the check_invariants
+// binary (also registered in ctest).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/address_map.hpp"
+
+namespace eccsim::check {
+
+/// Outcome of one invariant sweep: how many individual checks ran and the
+/// descriptions of any that failed.
+struct CheckResult {
+  std::string name;
+  std::uint64_t checks = 0;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// Folds `other` into this result, prefixing its failures with its name.
+  void merge(const CheckResult& other);
+};
+
+/// AddressMap bijection.  Exhaustive when total_data_lines <= max_exhaustive,
+/// else a deterministic sample of `samples` lines plus the boundary lines.
+CheckResult check_address_map(const dram::MemGeometry& geom,
+                              std::uint64_t samples = 200'000,
+                              std::uint64_t max_exhaustive = 1'000'000);
+
+/// ParityLayout group/bijection/channel-disjointness invariants, sampled
+/// the same way (`corr_bytes` as in ParityLayout's constructor).
+CheckResult check_parity_layout(const dram::MemGeometry& geom,
+                                unsigned corr_bytes,
+                                std::uint64_t samples = 100'000,
+                                std::uint64_t max_exhaustive = 500'000);
+
+/// BankHealthTable Fig. 6 transition discipline at the given threshold.
+CheckResult check_health_table(unsigned threshold = 4);
+
+/// RS round-trip under random corruption for the paper's code shapes:
+/// (36,32) and (18,16) over GF(2^8), (10,8) over GF(2^16).
+CheckResult check_rs_roundtrip(unsigned trials_per_load = 20,
+                               std::uint64_t seed = 0xEC0DEC);
+
+/// Every invariant on every paper geometry (quad/dual equivalents across
+/// the evaluated correction ratios).  `thorough` raises the sample counts.
+CheckResult check_all(bool thorough);
+
+}  // namespace eccsim::check

@@ -1,0 +1,302 @@
+#include "check/protocol_checker.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace eccsim::check {
+
+namespace {
+
+/// One-line rendering of a command for history dumps and violation detail.
+std::string format_cmd(const dram::DramCommand& cmd) {
+  std::ostringstream os;
+  os << "cycle " << cmd.cycle << " " << dram::to_string(cmd.kind) << " r"
+     << cmd.rank << " b" << cmd.bank;
+  switch (cmd.kind) {
+    case dram::CmdKind::kActivate:
+      os << " row " << cmd.row;
+      break;
+    case dram::CmdKind::kRead:
+    case dram::CmdKind::kWrite:
+      os << " row " << cmd.row << " col " << cmd.col << " data ["
+         << cmd.data_start << ", " << cmd.data_end << ")"
+         << (cmd.auto_precharge ? " AP" : "");
+      break;
+    case dram::CmdKind::kPrecharge:
+      os << " row " << cmd.row << (cmd.auto_precharge ? " (auto)" : "");
+      break;
+    case dram::CmdKind::kRefresh:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Ddr3ProtocolChecker::Mode Ddr3ProtocolChecker::default_mode() {
+#ifndef NDEBUG
+  return Mode::kFatal;
+#else
+  return Mode::kCount;
+#endif
+}
+
+Ddr3ProtocolChecker::Ddr3ProtocolChecker(const dram::ChannelConfig& cfg,
+                                         std::string name, Mode mode)
+    : cfg_(cfg), name_(std::move(name)), mode_(mode) {
+  ranks_.resize(cfg_.ranks);
+  banks_.resize(static_cast<std::size_t>(cfg_.ranks) * cfg_.banks);
+}
+
+void Ddr3ProtocolChecker::on_command(const dram::DramCommand& cmd) {
+  ++commands_;
+  if (cmd.rank >= cfg_.ranks ||
+      (cmd.kind != dram::CmdKind::kRefresh && cmd.bank >= cfg_.banks)) {
+    fail("address-range", cmd, "rank/bank outside the channel's geometry");
+    return;  // state arrays cannot be indexed with this command
+  }
+  switch (cmd.kind) {
+    case dram::CmdKind::kActivate:
+      check_activate(cmd);
+      break;
+    case dram::CmdKind::kRead:
+    case dram::CmdKind::kWrite:
+      check_cas(cmd);
+      break;
+    case dram::CmdKind::kPrecharge:
+      check_precharge(cmd);
+      break;
+    case dram::CmdKind::kRefresh:
+      check_refresh(cmd);
+      break;
+  }
+  history_.push_back(cmd);
+  if (history_.size() > kHistory) history_.pop_front();
+}
+
+void Ddr3ProtocolChecker::require_window(const char* rule,
+                                         const dram::DramCommand& cmd,
+                                         std::uint64_t actual,
+                                         std::uint64_t floor,
+                                         const char* since) {
+  if (actual < floor) {
+    std::ostringstream os;
+    os << "needs cycle >= " << floor << " (" << since << "), got " << actual;
+    fail(rule, cmd, os.str());
+  }
+}
+
+void Ddr3ProtocolChecker::check_activate(const dram::DramCommand& cmd) {
+  const auto& t = cfg_.device.timing;
+  RankState& rank = ranks_[cmd.rank];
+  BankState& bank = banks_[cmd.rank * cfg_.banks + cmd.bank];
+
+  if (bank.open) {
+    fail("bank-state", cmd, "ACT to a bank with an open row");
+  }
+  if (bank.has_pre) {
+    require_window("tRP", cmd, cmd.cycle, bank.pre_cycle + t.tRP,
+                   "last PRE + tRP");
+  }
+  if (bank.has_act) {
+    require_window("tRC", cmd, cmd.cycle, bank.act_cycle + t.tRC,
+                   "last ACT + tRC");
+  }
+  if (!rank.act_window.empty()) {
+    require_window("tRRD", cmd, cmd.cycle, rank.act_window.back() + t.tRRD,
+                   "last same-rank ACT + tRRD");
+  }
+  if (rank.act_window.size() >= 4) {
+    require_window("tFAW", cmd, cmd.cycle,
+                   rank.act_window[rank.act_window.size() - 4] + t.tFAW,
+                   "4th-previous same-rank ACT + tFAW");
+  }
+  if (rank.refs_seen > 0 && cmd.cycle >= rank.last_ref &&
+      cmd.cycle < rank.last_ref + t.tRFC) {
+    std::ostringstream os;
+    os << "ACT inside refresh blackout [" << rank.last_ref << ", "
+       << rank.last_ref + t.tRFC << ")";
+    fail("tRFC", cmd, os.str());
+  }
+
+  bank.open = true;
+  bank.row = cmd.row;
+  bank.act_cycle = cmd.cycle;
+  bank.has_act = true;
+  bank.rd_since_act = false;
+  bank.wr_since_act = false;
+  bank.cas_since_act = false;
+  rank.act_window.push_back(cmd.cycle);
+  if (rank.act_window.size() > 4) rank.act_window.pop_front();
+}
+
+void Ddr3ProtocolChecker::check_cas(const dram::DramCommand& cmd) {
+  const auto& t = cfg_.device.timing;
+  BankState& bank = banks_[cmd.rank * cfg_.banks + cmd.bank];
+  const bool is_write = cmd.kind == dram::CmdKind::kWrite;
+
+  if (!bank.open) {
+    fail("bank-state", cmd, "RD/WR to a bank with no open row");
+  } else if (bank.row != cmd.row) {
+    std::ostringstream os;
+    os << "RD/WR to row " << cmd.row << " but row " << bank.row
+       << " is open";
+    fail("bank-state", cmd, os.str());
+  }
+  if (bank.has_act) {
+    require_window("tRCD", cmd, cmd.cycle, bank.act_cycle + t.tRCD,
+                   "ACT + tRCD");
+  }
+  if (bank.has_cas) {
+    require_window("tCCD", cmd, cmd.cycle, bank.last_cas + t.tCCD,
+                   "last same-bank CAS + tCCD");
+  }
+
+  // CAS latency and burst-length consistency with the booked data window.
+  const unsigned cas_lat = is_write ? t.tCWL : t.tCL;
+  if (cmd.data_start != cmd.cycle + cas_lat) {
+    std::ostringstream os;
+    os << "data must start at CAS + " << (is_write ? "tCWL" : "tCL") << " = "
+       << cmd.cycle + cas_lat << ", got " << cmd.data_start;
+    fail(is_write ? "tCWL" : "tCL", cmd, os.str());
+  }
+  if (cmd.data_end != cmd.data_start + t.tBurst) {
+    std::ostringstream os;
+    os << "burst must occupy tBurst = " << t.tBurst << " cycles, got ["
+       << cmd.data_start << ", " << cmd.data_end << ")";
+    fail("tBurst", cmd, os.str());
+  }
+
+  // Shared data bus: no overlapping bursts; direction changes pay the
+  // model's end-to-start turnaround (tWTR write->read, tRTW read->write).
+  if (bus_used_) {
+    std::uint64_t floor = bus_data_end_;
+    const char* rule = "bus-overlap";
+    const char* since = "previous burst end";
+    if (bus_last_write_ && !is_write) {
+      floor += t.tWTR;
+      rule = "tWTR";
+      since = "write data end + tWTR";
+    } else if (!bus_last_write_ && is_write) {
+      floor += t.tRTW;
+      rule = "tRTW";
+      since = "read data end + tRTW";
+    }
+    require_window(rule, cmd, cmd.data_start, floor, since);
+  }
+
+  // Close-page policy conformance (Sec. IV-B): every access auto-precharges
+  // and an activation serves exactly one CAS.
+  if (cfg_.row_policy == dram::RowPolicy::kClosePage) {
+    if (!cmd.auto_precharge) {
+      fail("close-page", cmd, "CAS without auto-precharge under close-page");
+    }
+    if (bank.cas_since_act) {
+      fail("close-page", cmd, "second CAS to the same activation");
+    }
+  }
+
+  bank.last_cas = cmd.cycle;
+  bank.has_cas = true;
+  bank.cas_since_act = true;
+  if (is_write) {
+    bank.wr_since_act = true;
+    bank.last_wr_data_end = cmd.data_end;
+  } else {
+    bank.rd_since_act = true;
+    bank.last_rd_cas = cmd.cycle;
+  }
+  bus_data_end_ = cmd.data_end;
+  bus_last_write_ = is_write;
+  bus_used_ = true;
+}
+
+void Ddr3ProtocolChecker::check_precharge(const dram::DramCommand& cmd) {
+  const auto& t = cfg_.device.timing;
+  BankState& bank = banks_[cmd.rank * cfg_.banks + cmd.bank];
+
+  if (!bank.open) {
+    fail("bank-state", cmd, "PRE to a bank with no open row");
+  }
+  if (bank.has_act) {
+    require_window("tRAS", cmd, cmd.cycle, bank.act_cycle + t.tRAS,
+                   "ACT + tRAS");
+  }
+  if (bank.rd_since_act) {
+    require_window("tRTP", cmd, cmd.cycle, bank.last_rd_cas + t.tRTP,
+                   "read CAS + tRTP");
+  }
+  if (bank.wr_since_act) {
+    require_window("tWR", cmd, cmd.cycle, bank.last_wr_data_end + t.tWR,
+                   "write data end + tWR");
+  }
+
+  bank.open = false;
+  bank.pre_cycle = cmd.cycle;
+  bank.has_pre = true;
+}
+
+void Ddr3ProtocolChecker::check_refresh(const dram::DramCommand& cmd) {
+  const auto& t = cfg_.device.timing;
+  RankState& rank = ranks_[cmd.rank];
+  // The model refreshes on a fixed schedule: REF k of a rank starts its
+  // blackout at exactly k * tREFI (k = 1, 2, ...), with none skipped.
+  const std::uint64_t expected = (rank.refs_seen + 1) * t.tREFI;
+  if (cmd.cycle != expected) {
+    std::ostringstream os;
+    os << "REF " << rank.refs_seen + 1 << " of rank " << cmd.rank
+       << " must start at " << expected << " (tREFI = " << t.tREFI
+       << "), got " << cmd.cycle;
+    fail("tREFI", cmd, os.str());
+  }
+  rank.last_ref = cmd.cycle;
+  ++rank.refs_seen;
+}
+
+void Ddr3ProtocolChecker::fail(const char* rule,
+                               const dram::DramCommand& cmd,
+                               std::string detail) {
+  ++violation_count_;
+  if (mode_ == Mode::kFatal) {
+    std::fprintf(stderr,
+                 "[%s] DDR3 protocol violation (%s): %s\n  command: %s\n"
+                 "%s",
+                 name_.c_str(), rule, detail.c_str(),
+                 format_cmd(cmd).c_str(), format_history().c_str());
+    std::abort();
+  }
+  if (violations_.size() < kMaxStored) {
+    violations_.push_back(Violation{rule, std::move(detail), cmd});
+  }
+}
+
+std::string Ddr3ProtocolChecker::format_history() const {
+  std::ostringstream os;
+  os << "  last " << history_.size() << " commands:\n";
+  for (const auto& cmd : history_) {
+    os << "    " << format_cmd(cmd) << "\n";
+  }
+  return os.str();
+}
+
+std::string Ddr3ProtocolChecker::report() const {
+  std::ostringstream os;
+  os << name_ << ": " << violation_count_ << " violation(s) in " << commands_
+     << " commands\n";
+  std::map<std::string, unsigned> by_rule;
+  for (const auto& v : violations_) ++by_rule[v.rule];
+  for (const auto& [rule, count] : by_rule) {
+    os << "  " << rule << ": " << count
+       << (violation_count_ > violations_.size() ? "+" : "") << "\n";
+  }
+  for (const auto& v : violations_) {
+    os << "  [" << v.rule << "] " << v.detail << "\n    command: "
+       << format_cmd(v.cmd) << "\n";
+  }
+  if (violation_count_ > 0) os << format_history();
+  return os.str();
+}
+
+}  // namespace eccsim::check

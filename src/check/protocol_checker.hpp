@@ -1,0 +1,141 @@
+// Independent DDR3 protocol checker (verification layer, no scheduler
+// logic shared).
+//
+// The checker observes the command stream one Channel emits through the
+// dram::CommandObserver hook and re-validates every command against the
+// raw timing table (dram::Ddr3Timing) and channel configuration alone:
+//
+//   per bank   : state legality (ACT only to a closed bank, RD/WR only to
+//                the open row, PRE only to an open bank), tRCD, tRP, tRC,
+//                tRAS, tRTP, tWR, tCCD
+//   per rank   : tRRD, the four-activate window tFAW, refresh-interval
+//                conformance (REF every tREFI exactly), and the tRFC
+//                refresh blackout (no ACT inside it)
+//   per channel: data-bus occupancy (bursts never overlap) and
+//                write-to-read / read-to-write turnaround (tWTR / tRTW,
+//                measured from data end to next data start, which is the
+//                channel model's documented bus contract)
+//   policy     : under close-page, every CAS must carry auto-precharge and
+//                an activation serves exactly one CAS
+//
+// It deliberately reimplements the rules from the JEDEC-style timing
+// parameters instead of reusing Channel's arithmetic, so a scheduler bug
+// cannot hide by being mirrored in its own audit.  Two model-level scope
+// notes: power-down exit (tXP) depends on scheduler-local wall-clock state
+// that is not part of the command stream, and refresh is modeled as
+// blocking activates only (banks are not force-precharged), so neither is
+// checked.
+//
+// Violations carry the offending command, the violated rule, and a rolling
+// window of recent command history.  Mode::kFatal (the Debug default)
+// prints the full context and aborts at the first violation; Mode::kCount
+// (the Release default) records and counts them so the caller can fail the
+// run at a convenient boundary.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hpp"
+#include "dram/observer.hpp"
+
+namespace eccsim::check {
+
+/// Audits one channel's command stream.  Attach via
+/// Channel::set_observer / MemorySystem::set_command_observer; single
+/// owner, driven synchronously by whichever thread runs the channel.
+class Ddr3ProtocolChecker final : public dram::CommandObserver {
+ public:
+  enum class Mode {
+    kFatal,  ///< print context and abort at the first violation
+    kCount,  ///< record (bounded) and count; caller decides when to fail
+  };
+
+  /// kFatal in Debug builds (NDEBUG unset), kCount in Release.
+  static Mode default_mode();
+
+  struct Violation {
+    std::string rule;    ///< violated constraint, e.g. "tFAW" or "bank-state"
+    std::string detail;  ///< expected-vs-actual cycles, addresses
+    dram::DramCommand cmd;
+  };
+
+  Ddr3ProtocolChecker(const dram::ChannelConfig& cfg, std::string name,
+                      Mode mode = default_mode());
+
+  void on_command(const dram::DramCommand& cmd) override;
+
+  /// Total violations seen (kCount mode counts past the storage cap).
+  std::uint64_t violation_count() const { return violation_count_; }
+  /// Stored violations (first kMaxStored, with full detail).
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t commands_checked() const { return commands_; }
+  const std::string& name() const { return name_; }
+
+  /// Human-readable summary: per-rule counts plus the stored violations
+  /// with their command-history context.
+  std::string report() const;
+
+  /// At most this many violations keep full detail; the rest only count.
+  static constexpr std::size_t kMaxStored = 16;
+  /// Command-history window captured into each violation's context.
+  static constexpr std::size_t kHistory = 48;
+
+ private:
+  struct BankState {
+    bool open = false;
+    std::uint64_t row = 0;
+    std::uint64_t act_cycle = 0;   ///< last ACT (valid once has_act)
+    std::uint64_t pre_cycle = 0;   ///< last PRE (valid once has_pre)
+    std::uint64_t last_cas = 0;    ///< last RD/WR CAS (valid once has_cas)
+    std::uint64_t last_rd_cas = 0;      ///< since current activation
+    std::uint64_t last_wr_data_end = 0; ///< since current activation
+    bool has_act = false;
+    bool has_pre = false;
+    bool has_cas = false;
+    bool rd_since_act = false;
+    bool wr_since_act = false;
+    bool cas_since_act = false;
+  };
+  struct RankState {
+    std::deque<std::uint64_t> act_window;  ///< last ACTs, for tRRD / tFAW
+    std::uint64_t last_ref = 0;
+    std::uint64_t refs_seen = 0;
+  };
+
+  void check_activate(const dram::DramCommand& cmd);
+  void check_cas(const dram::DramCommand& cmd);
+  void check_precharge(const dram::DramCommand& cmd);
+  void check_refresh(const dram::DramCommand& cmd);
+
+  /// Records/reports one violation (rule, expected-vs-actual detail).
+  void fail(const char* rule, const dram::DramCommand& cmd,
+            std::string detail);
+  /// Shorthand for "cycle >= floor" timing-window checks.
+  void require_window(const char* rule, const dram::DramCommand& cmd,
+                      std::uint64_t actual, std::uint64_t floor,
+                      const char* since);
+
+  std::string format_history() const;
+
+  dram::ChannelConfig cfg_;
+  std::string name_;
+  Mode mode_;
+
+  std::vector<RankState> ranks_;
+  std::vector<BankState> banks_;  ///< rank-major [rank * banks + bank]
+
+  // Channel-level data-bus state.
+  std::uint64_t bus_data_end_ = 0;
+  bool bus_last_write_ = false;
+  bool bus_used_ = false;
+
+  std::deque<dram::DramCommand> history_;
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t commands_ = 0;
+};
+
+}  // namespace eccsim::check

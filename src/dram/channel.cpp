@@ -29,6 +29,17 @@ const char* trace_name(bool is_write, LineClass lc) {
 
 }  // namespace
 
+const char* to_string(CmdKind kind) {
+  switch (kind) {
+    case CmdKind::kActivate: return "ACT";
+    case CmdKind::kRead: return "RD";
+    case CmdKind::kWrite: return "WR";
+    case CmdKind::kPrecharge: return "PRE";
+    case CmdKind::kRefresh: return "REF";
+  }
+  return "?";
+}
+
 Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg) {
   if (cfg_.ranks == 0 || cfg_.banks == 0) {
     throw std::invalid_argument("Channel: ranks/banks must be nonzero");
@@ -80,7 +91,8 @@ std::uint64_t Channel::earliest_act(const MemRequest& req,
   return act;
 }
 
-std::uint64_t Channel::apply_refresh(RankState& rank, std::uint64_t t_act) {
+std::uint64_t Channel::apply_refresh(RankState& rank, std::uint32_t rank_idx,
+                                     std::uint64_t t_act) {
   const auto& t = cfg_.device.timing;
   // Consume refresh intervals that elapsed before this activate; each one
   // blocks the rank for tRFC at its scheduled point if the ACT would land
@@ -89,6 +101,7 @@ std::uint64_t Channel::apply_refresh(RankState& rank, std::uint64_t t_act) {
     stats_.energy.refresh_pj +=
         cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
     if (hooks_) hooks_->refreshes->inc();
+    if (observer_) emit_refresh(rank_idx, rank.next_refresh);
     rank.next_refresh += t.tREFI;
   }
   if (t_act >= rank.next_refresh) {
@@ -96,10 +109,19 @@ std::uint64_t Channel::apply_refresh(RankState& rank, std::uint64_t t_act) {
     stats_.energy.refresh_pj +=
         cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
     if (hooks_) hooks_->refreshes->inc();
+    if (observer_) emit_refresh(rank_idx, rank.next_refresh);
     t_act = rank.next_refresh + t.tRFC;
     rank.next_refresh += t.tREFI;
   }
   return t_act;
+}
+
+void Channel::emit_refresh(std::uint32_t rank_idx, std::uint64_t cycle) {
+  DramCommand cmd;
+  cmd.kind = CmdKind::kRefresh;
+  cmd.cycle = cycle;
+  cmd.rank = rank_idx;
+  observer_->on_command(cmd);
 }
 
 Channel::BackgroundParts Channel::background_pj_between(
@@ -291,11 +313,31 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
                                         req.addr.bank)},
            {"row", static_cast<double>(req.addr.row)}});
     }
+    if (observer_) {
+      DramCommand cmd;
+      cmd.kind = req.is_write ? CmdKind::kWrite : CmdKind::kRead;
+      cmd.cycle = t_cas;
+      cmd.rank = req.addr.rank;
+      cmd.bank = req.addr.bank;
+      cmd.row = req.addr.row;
+      cmd.col = req.addr.col;
+      cmd.data_start = data_start;
+      cmd.data_end = data_end;
+      cmd.line_class = req.line_class;
+      observer_->on_command(cmd);
+    }
     return data_end;
   }
 
+  // Captured before the booking below overwrites the bank state: an
+  // open-page row conflict implies an explicit precharge of the old row,
+  // which the observer must see to keep its bank-state machine accurate.
+  const bool conflict_pre =
+      cfg_.row_policy == RowPolicy::kOpenPage && bank.row_open;
+  const std::uint64_t conflict_row = bank.open_row;
+
   std::uint64_t t_act = earliest_act(req, now);
-  t_act = apply_refresh(rank, t_act);
+  t_act = apply_refresh(rank, req.addr.rank, t_act);
 
   // CAS data placement: first data cycle respects tRCD + CAS latency and
   // the shared bus (with turnaround when direction changes).
@@ -387,6 +429,40 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
                                       req.addr.bank)},
          {"row", static_cast<double>(req.addr.row)}});
   }
+  if (observer_) {
+    DramCommand cmd;
+    cmd.rank = req.addr.rank;
+    cmd.bank = req.addr.bank;
+    cmd.col = req.addr.col;
+    cmd.line_class = req.line_class;
+    if (conflict_pre) {
+      // The precharge closing the old row: earliest_act() placed the ACT
+      // at least tRP after it, so its start is exactly t_act - tRP (or
+      // earlier; t_act - tRP is the latest legal reconstruction).
+      cmd.kind = CmdKind::kPrecharge;
+      cmd.cycle = t_act - t.tRP;
+      cmd.row = conflict_row;
+      observer_->on_command(cmd);
+    }
+    cmd.kind = CmdKind::kActivate;
+    cmd.cycle = t_act;
+    cmd.row = req.addr.row;
+    observer_->on_command(cmd);
+    cmd.kind = req.is_write ? CmdKind::kWrite : CmdKind::kRead;
+    cmd.cycle = t_cas;
+    cmd.data_start = data_start;
+    cmd.data_end = data_end;
+    cmd.auto_precharge = cfg_.row_policy == RowPolicy::kClosePage;
+    observer_->on_command(cmd);
+    if (cfg_.row_policy == RowPolicy::kClosePage) {
+      cmd.kind = CmdKind::kPrecharge;
+      cmd.cycle = precharge_start;
+      cmd.data_start = 0;
+      cmd.data_end = 0;
+      cmd.auto_precharge = true;
+      observer_->on_command(cmd);
+    }
+  }
   return data_end;
 }
 
@@ -441,7 +517,8 @@ void Channel::tick(std::uint64_t now, std::vector<MemCompletion>& out) {
 }
 
 void Channel::finalize(std::uint64_t end_cycle) {
-  for (auto& rank : ranks_) {
+  for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+    RankState& rank = ranks_[r];
     // Charge residual refresh energy for intervals that elapsed with no
     // traffic to trigger apply_refresh().
     const auto& t = cfg_.device.timing;
@@ -449,6 +526,7 @@ void Channel::finalize(std::uint64_t end_cycle) {
       stats_.energy.refresh_pj +=
           cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
       if (hooks_) hooks_->refreshes->inc();
+      if (observer_) emit_refresh(r, rank.next_refresh);
       rank.next_refresh += t.tREFI;
     }
     account_background(rank, end_cycle);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dram/ddr3_params.hpp"
+#include "dram/observer.hpp"
 #include "dram/request.hpp"
 #include "stats/stats.hpp"
 #include "stats/trace.hpp"
@@ -141,6 +142,14 @@ class Channel {
                     stats::Tracer* tracer = nullptr,
                     std::uint32_t tracer_tid = 0);
 
+  /// Attaches a passive command observer (see dram/observer.hpp): every
+  /// booked ACT / RD / WR / PRE / REF is mirrored to it with the exact
+  /// cycle the scheduler assigned.  Pass nullptr to detach.  The observer
+  /// must outlive the channel's use (including finalize(), which emits the
+  /// residual refresh commands).  Observation only: results are
+  /// bit-identical with or without an observer.
+  void set_observer(CommandObserver* observer) { observer_ = observer; }
+
  private:
   struct BankState {
     std::uint64_t next_act = 0;  ///< earliest cycle an ACT may issue
@@ -194,7 +203,11 @@ class Channel {
 
   /// Applies any refresh blackout overlapping [t, ...) and charges refresh
   /// energy; returns the possibly-delayed ACT time.
-  std::uint64_t apply_refresh(RankState& rank, std::uint64_t t_act);
+  std::uint64_t apply_refresh(RankState& rank, std::uint32_t rank_idx,
+                              std::uint64_t t_act);
+
+  /// Mirrors one REF command to the observer (observer_ must be non-null).
+  void emit_refresh(std::uint32_t rank_idx, std::uint64_t cycle);
 
   ChannelConfig cfg_;
   std::vector<RankState> ranks_;
@@ -231,6 +244,7 @@ class Channel {
   std::unique_ptr<StatHooks> hooks_;
   stats::Tracer* tracer_ = nullptr;
   std::uint32_t tracer_tid_ = 0;
+  CommandObserver* observer_ = nullptr;
 };
 
 }  // namespace eccsim::dram

@@ -19,8 +19,7 @@ MemGeometry MemSystemConfig::geometry() const {
   return g;
 }
 
-MemorySystem::MemorySystem(const MemSystemConfig& cfg)
-    : cfg_(cfg), map_(cfg.geometry()) {
+ChannelConfig MemorySystem::channel_config() const {
   ChannelConfig cc;
   cc.device = cfg_.device;
   cc.ranks = cfg_.ranks_per_channel;
@@ -30,6 +29,12 @@ MemorySystem::MemorySystem(const MemSystemConfig& cfg)
   cc.powerdown_enabled = cfg_.powerdown_enabled;
   cc.row_policy = cfg_.row_policy;
   cc.scheduler = cfg_.scheduler;
+  return cc;
+}
+
+MemorySystem::MemorySystem(const MemSystemConfig& cfg)
+    : cfg_(cfg), map_(cfg.geometry()) {
+  const ChannelConfig cc = channel_config();
   channels_.reserve(cfg_.channels);
   for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
     channels_.emplace_back(cc);
@@ -116,6 +121,11 @@ MemSystemStats MemorySystem::peek_stats() const {
   per_channel.reserve(channels_.size());
   for (const auto& ch : channels_) per_channel.push_back(ch.peek_stats(cycle_));
   return aggregate(per_channel);
+}
+
+void MemorySystem::set_command_observer(std::uint32_t channel,
+                                        CommandObserver* observer) {
+  channels_.at(channel).set_observer(observer);
 }
 
 void MemorySystem::attach_stats(stats::Registry& reg, stats::Tracer* tracer) {

@@ -113,6 +113,15 @@ class MemorySystem {
   /// trace event (track N = channel N).  Call once before traffic.
   void attach_stats(stats::Registry& reg, stats::Tracer* tracer = nullptr);
 
+  /// Attaches a passive per-channel command observer (dram/observer.hpp);
+  /// the protocol checker in src/check audits channels through this hook.
+  /// The observer must outlive the system (including finalize()).
+  void set_command_observer(std::uint32_t channel, CommandObserver* observer);
+
+  /// The per-channel configuration every channel was built with (observers
+  /// such as the protocol checker validate against the same parameters).
+  ChannelConfig channel_config() const;
+
  private:
   MemSystemConfig cfg_;
   AddressMap map_;

@@ -1,0 +1,63 @@
+// Command-level observation hook for the DRAM channel.
+//
+// The channel's forward-scheduling model books every DDR3 command (ACT,
+// RD/WR CAS, PRE, REF) at an exact future cycle when it issues a
+// transaction.  A CommandObserver receives each booked command with its
+// cycle and full address, letting external tooling -- most importantly the
+// independent protocol checker in src/check -- re-validate every timing
+// and bank-state constraint without sharing any logic with the scheduler.
+//
+// Emission order is the channel's issue order, which is monotonic per bank
+// and per rank but NOT globally monotonic in `cycle` (a transaction to a
+// busy bank can be booked later in time than a subsequently issued
+// transaction to an idle bank).  Observers must therefore key their state
+// by (rank, bank), not by stream position.  Observation is passive: the
+// channel's behavior and statistics are bit-identical with or without an
+// observer attached.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/request.hpp"
+
+namespace eccsim::dram {
+
+/// DDR3 command kinds the channel books.
+enum class CmdKind : std::uint8_t {
+  kActivate,   ///< ACT: open `row` in (rank, bank)
+  kRead,       ///< RD CAS; data occupies [data_start, data_end)
+  kWrite,      ///< WR CAS; data occupies [data_start, data_end)
+  kPrecharge,  ///< PRE (explicit, or auto-precharge under close-page)
+  kRefresh,    ///< REF: rank-wide; blackout is [cycle, cycle + tRFC)
+};
+
+const char* to_string(CmdKind kind);
+
+/// One booked command.  `cycle` is the command's issue cycle: the ACT cycle,
+/// the CAS cycle (data_start - CAS latency), the precharge start, or the
+/// refresh blackout start.  data_start/data_end are meaningful for
+/// kRead/kWrite only.
+struct DramCommand {
+  CmdKind kind = CmdKind::kActivate;
+  std::uint64_t cycle = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  std::uint32_t col = 0;
+  std::uint64_t data_start = 0;
+  std::uint64_t data_end = 0;
+  /// CAS issued with auto-precharge (the close-page policy's access mode).
+  bool auto_precharge = false;
+  LineClass line_class = LineClass::kData;
+};
+
+/// Passive observer of the channel's command stream.  Must outlive the
+/// channel it is attached to; called synchronously from Channel::issue /
+/// finalize on whichever thread drives the channel.
+class CommandObserver {
+ public:
+  virtual ~CommandObserver() = default;
+  virtual void on_command(const DramCommand& cmd) = 0;
+};
+
+}  // namespace eccsim::dram

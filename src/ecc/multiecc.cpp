@@ -67,7 +67,9 @@ void MultiEccGroupCodec::update_correction_line(
   if (corr.size() != 64 || old_line.size() != 64 || new_line.size() != 64) {
     throw std::invalid_argument("MultiEccGroupCodec: spans must be 64B");
   }
-  for (unsigned b = 0; b < 64; ++b) corr[b] ^= old_line[b] ^ new_line[b];
+  for (unsigned b = 0; b < 64; ++b) {
+    corr[b] = static_cast<std::uint8_t>(corr[b] ^ old_line[b] ^ new_line[b]);
+  }
 }
 
 bool MultiEccGroupCodec::correct_member(

@@ -113,7 +113,8 @@ void EccParityManager::write_line(std::uint64_t line_index,
   // Eq. 1: ECCP_new = ECCP_old ^ ECC_old ^ ECC_new.
   auto& parity = parity_slot(layout_.group_of(line_index));
   for (std::size_t i = 0; i < parity.size(); ++i) {
-    parity[i] ^= old_corr[i] ^ new_corr[i];
+    parity[i] = static_cast<std::uint8_t>(parity[i] ^ old_corr[i] ^
+                                          new_corr[i]);
   }
 
   data_.write(line_index, bytes);

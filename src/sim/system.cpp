@@ -1,6 +1,8 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -15,6 +17,13 @@ std::uint32_t faulty_key(const dram::DramAddress& a) {
 // Namespace tags for LLC keys (data lines use their raw 64B index).
 constexpr std::uint64_t kXorKeyTag = 1ULL << 62;   // ParityLayout's tag
 constexpr std::uint64_t kEccKeyTag = 1ULL << 63;
+
+/// ECCSIM_CHECK set to anything but "0" enables the protocol checker for
+/// every run in the process (the CI sweeps use this).
+bool protocol_check_env() {
+  const char* v = std::getenv("ECCSIM_CHECK");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
 
 }  // namespace
 
@@ -52,7 +61,19 @@ SystemSim::SystemSim(const ecc::SchemeDesc& scheme,
         scheme.correction_ratio * scheme.line_bytes);
     parity_layout_.emplace(mem_.config().geometry(), corr_bytes);
   }
+  attach_protocol_checkers();
   attach_stats();
+}
+
+void SystemSim::attach_protocol_checkers() {
+  if (!opts_.protocol_check && !protocol_check_env()) return;
+  const dram::ChannelConfig cc = mem_.channel_config();
+  checkers_.reserve(mem_.config().channels);
+  for (std::uint32_t c = 0; c < mem_.config().channels; ++c) {
+    checkers_.push_back(std::make_unique<check::Ddr3ProtocolChecker>(
+        cc, scheme_.name + ".ch" + std::to_string(c)));
+    mem_.set_command_observer(c, checkers_.back().get());
+  }
 }
 
 void SystemSim::attach_stats() {
@@ -444,6 +465,20 @@ RunResult SystemSim::run() {
   for (const auto& c : cores_) result.instructions += c.committed;
   result.mem_cycles = run_cycles;
   result.mem = mem_.finalize();
+  // finalize() has emitted the residual refresh commands, so the checkers
+  // have now audited the complete command stream.  In kCount mode (Release)
+  // violations accumulate silently until this boundary; fail the run here
+  // rather than return results from a protocol-violating simulation.
+  std::uint64_t protocol_violations = 0;
+  std::string protocol_report;
+  for (const auto& checker : checkers_) {
+    protocol_violations += checker->violation_count();
+    if (checker->violation_count() > 0) protocol_report += checker->report();
+  }
+  if (protocol_violations > 0) {
+    throw std::runtime_error("DDR3 protocol violations detected:\n" +
+                             protocol_report);
+  }
   result.llc = llc_.stats();
   const double instr = static_cast<double>(result.instructions);
   const double cpu_cycles =

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "check/protocol_checker.hpp"
 #include "dram/memory_system.hpp"
 #include "ecc/scheme.hpp"
 #include "eccparity/layout.hpp"
@@ -70,6 +71,15 @@ struct SimOptions {
   /// cache; the paper's methodology moves ECC lines into the 8 MB LLC
   /// (Sec. IV-C) -- this knob quantifies that choice.
   std::uint64_t dedicated_ecc_cache_bytes = 0;
+  /// Attaches the independent DDR3 protocol checker
+  /// (check/protocol_checker.hpp) to every channel: each command the DRAM
+  /// model issues is re-validated against the raw timing tables, and run()
+  /// throws std::runtime_error with a full report if any violation was
+  /// counted (in the checker's fatal mode a violation aborts immediately
+  /// instead).  Observation only -- results are bit-identical.  Also
+  /// enabled by setting the ECCSIM_CHECK environment variable to a value
+  /// other than "0", which is how CI audits the benchmark sweeps.
+  bool protocol_check = false;
   /// Observability sink for this run (optional).  When set and enabled,
   /// the simulator registers every component's stats in the collector's
   /// registry under stable dotted paths, samples the registry every
@@ -183,9 +193,17 @@ class SystemSim {
   /// bandwidth / EPI epoch series.
   void finalize_stats();
 
+  /// Creates and attaches the per-channel protocol checkers when
+  /// SimOptions::protocol_check or ECCSIM_CHECK asks for them.
+  void attach_protocol_checkers();
+
   ecc::SchemeDesc scheme_;
   CpuConfig cpu_;
   SimOptions opts_;
+  /// One checker per channel (empty when checking is off).  Declared
+  /// before mem_ so the observers strictly outlive the channels, which
+  /// emit residual refresh commands from finalize().
+  std::vector<std::unique_ptr<check::Ddr3ProtocolChecker>> checkers_;
   dram::MemorySystem mem_;
   cache::Cache llc_;
   std::unique_ptr<cache::Cache> dedicated_ecc_cache_;

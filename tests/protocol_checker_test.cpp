@@ -1,0 +1,450 @@
+// Tests for the independent DDR3 protocol checker: every seeded illegal
+// command stream is caught and classified under the right rule, clean
+// synthetic streams and the real Channel under random traffic report zero
+// violations, and a checked SystemSim run completes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/protocol_checker.hpp"
+#include "common/rng.hpp"
+#include "dram/channel.hpp"
+#include "sim/system.hpp"
+
+namespace eccsim::check {
+namespace {
+
+using dram::CmdKind;
+using dram::DramCommand;
+
+dram::ChannelConfig test_config(
+    dram::RowPolicy policy = dram::RowPolicy::kOpenPage) {
+  dram::ChannelConfig cc;
+  cc.device = dram::micron_2gb(dram::DeviceWidth::kX8);
+  cc.ranks = 2;
+  cc.chips_per_rank = 9;
+  cc.row_policy = policy;
+  return cc;
+}
+
+DramCommand act(std::uint64_t cycle, std::uint32_t rank, std::uint32_t bank,
+                std::uint64_t row) {
+  DramCommand c;
+  c.kind = CmdKind::kActivate;
+  c.cycle = cycle;
+  c.rank = rank;
+  c.bank = bank;
+  c.row = row;
+  return c;
+}
+
+DramCommand cas(const dram::ChannelConfig& cc, bool is_write,
+                std::uint64_t cycle, std::uint32_t rank, std::uint32_t bank,
+                std::uint64_t row, bool auto_precharge = false) {
+  const auto& t = cc.device.timing;
+  DramCommand c;
+  c.kind = is_write ? CmdKind::kWrite : CmdKind::kRead;
+  c.cycle = cycle;
+  c.rank = rank;
+  c.bank = bank;
+  c.row = row;
+  c.data_start = cycle + (is_write ? t.tCWL : t.tCL);
+  c.data_end = c.data_start + t.tBurst;
+  c.auto_precharge = auto_precharge;
+  return c;
+}
+
+DramCommand pre(std::uint64_t cycle, std::uint32_t rank, std::uint32_t bank) {
+  DramCommand c;
+  c.kind = CmdKind::kPrecharge;
+  c.cycle = cycle;
+  c.rank = rank;
+  c.bank = bank;
+  return c;
+}
+
+DramCommand ref(std::uint64_t cycle, std::uint32_t rank) {
+  DramCommand c;
+  c.kind = CmdKind::kRefresh;
+  c.cycle = cycle;
+  c.rank = rank;
+  return c;
+}
+
+/// Feeds a stream to a counting checker and returns it for inspection.
+Ddr3ProtocolChecker audit(const dram::ChannelConfig& cc,
+                          const std::vector<DramCommand>& stream) {
+  Ddr3ProtocolChecker checker(cc, "test", Ddr3ProtocolChecker::Mode::kCount);
+  for (const DramCommand& cmd : stream) checker.on_command(cmd);
+  return checker;
+}
+
+/// The stream must produce at least one violation, the first classified
+/// under `rule`.
+void expect_violation(const dram::ChannelConfig& cc,
+                      const std::vector<DramCommand>& stream,
+                      const std::string& rule) {
+  const Ddr3ProtocolChecker checker = audit(cc, stream);
+  ASSERT_GE(checker.violation_count(), 1u) << "expected a " << rule
+                                           << " violation";
+  EXPECT_EQ(checker.violations()[0].rule, rule) << checker.report();
+}
+
+TEST(ProtocolChecker, CleanOpenPageSequencePasses) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  const std::uint64_t a1 = 1000;
+  const std::uint64_t r1 = a1 + t.tRCD;
+  const std::uint64_t w1 = r1 + t.tCCD + t.tBurst + t.tRTW;  // bus-safe
+  const std::uint64_t p1 = w1 + t.tCWL + t.tBurst + t.tWR;
+  const std::uint64_t a2 = p1 + t.tRP;
+  const Ddr3ProtocolChecker checker =
+      audit(cc, {act(a1, 0, 0, 7), cas(cc, false, r1, 0, 0, 7),
+                 cas(cc, true, w1, 0, 0, 7), pre(p1, 0, 0),
+                 act(a2, 0, 0, 9), cas(cc, false, a2 + t.tRCD, 0, 0, 9)});
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.report();
+  EXPECT_EQ(checker.commands_checked(), 6u);
+}
+
+TEST(ProtocolChecker, ActToOpenBank) {
+  const auto cc = test_config();
+  expect_violation(cc, {act(1000, 0, 0, 1), act(2000, 0, 0, 2)},
+                   "bank-state");
+}
+
+TEST(ProtocolChecker, CasToClosedBank) {
+  const auto cc = test_config();
+  expect_violation(cc, {cas(cc, false, 1000, 0, 0, 1)}, "bank-state");
+}
+
+TEST(ProtocolChecker, CasToWrongRow) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  expect_violation(
+      cc, {act(1000, 0, 0, 5), cas(cc, false, 1000 + t.tRCD, 0, 0, 6)},
+      "bank-state");
+}
+
+TEST(ProtocolChecker, PreToClosedBank) {
+  const auto cc = test_config();
+  expect_violation(cc, {pre(1000, 0, 0)}, "bank-state");
+}
+
+TEST(ProtocolChecker, TooEarlyCasViolatesTrcd) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  expect_violation(
+      cc, {act(1000, 0, 0, 5), cas(cc, false, 1000 + t.tRCD - 1, 0, 0, 5)},
+      "tRCD");
+}
+
+TEST(ProtocolChecker, TooEarlyActViolatesTrp) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  const std::uint64_t p = 1000 + t.tRAS;
+  // The re-activation also lands inside tRC; tRP is checked first.
+  expect_violation(cc,
+                   {act(1000, 0, 0, 1), pre(p, 0, 0),
+                    act(p + t.tRP - 1, 0, 0, 2)},
+                   "tRP");
+}
+
+TEST(ProtocolChecker, TooEarlyActViolatesTrc) {
+  // The Micron table has tRC == tRAS + tRP exactly, so a tRP-legal ACT can
+  // never violate tRC alone; widen tRC to separate the two rules and prove
+  // the checker enforces tRC independently.
+  auto cc = test_config();
+  auto& t = cc.device.timing;
+  t.tRC = t.tRAS + t.tRP + 6;
+  const std::uint64_t p = 1000 + t.tRAS;
+  expect_violation(cc,
+                   {act(1000, 0, 0, 1), pre(p, 0, 0),
+                    act(p + t.tRP, 0, 0, 2)},  // tRP-legal, inside tRC
+                   "tRC");
+}
+
+TEST(ProtocolChecker, TooEarlySameRankActViolatesTrrd) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  expect_violation(
+      cc, {act(1000, 0, 0, 1), act(1000 + t.tRRD - 1, 0, 1, 1)}, "tRRD");
+}
+
+TEST(ProtocolChecker, FifthActInWindowViolatesTfaw) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  ASSERT_GT(t.tFAW, 4u * t.tRRD);  // the window binds beyond tRRD
+  std::vector<DramCommand> stream;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    stream.push_back(act(1000 + i * t.tRRD, 0, i, 1));
+  }
+  // Legal per tRRD, one cycle inside the four-activate window.
+  stream.push_back(act(1000 + t.tFAW - 1, 0, 4, 1));
+  expect_violation(cc, stream, "tFAW");
+}
+
+TEST(ProtocolChecker, FifthActAtTfawBoundaryIsLegal) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  std::vector<DramCommand> stream;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    stream.push_back(act(1000 + i * t.tRRD, 0, i, 1));
+  }
+  stream.push_back(act(1000 + t.tFAW, 0, 4, 1));
+  EXPECT_EQ(audit(cc, stream).violation_count(), 0u);
+}
+
+TEST(ProtocolChecker, OtherRankEscapesTrrdAndTfaw) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  std::vector<DramCommand> stream;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    stream.push_back(act(1000 + i * t.tRRD, 0, i, 1));
+  }
+  stream.push_back(act(1000 + 3 * t.tRRD + 1, 1, 0, 1));
+  EXPECT_EQ(audit(cc, stream).violation_count(), 0u);
+}
+
+TEST(ProtocolChecker, BackToBackCasViolatesTccd) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  const std::uint64_t c1 = 1000 + t.tRCD;
+  expect_violation(cc,
+                   {act(1000, 0, 0, 5), cas(cc, false, c1, 0, 0, 5),
+                    cas(cc, false, c1 + t.tCCD - 1, 0, 0, 5)},
+                   "tCCD");
+}
+
+TEST(ProtocolChecker, InconsistentDataWindowViolatesCasLatency) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  DramCommand bad = cas(cc, false, 1000 + t.tRCD, 0, 0, 5);
+  bad.data_start += 1;
+  bad.data_end += 1;
+  expect_violation(cc, {act(1000, 0, 0, 5), bad}, "tCL");
+}
+
+TEST(ProtocolChecker, ShortBurstViolatesTburst) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  DramCommand bad = cas(cc, true, 1000 + t.tRCD, 0, 0, 5);
+  bad.data_end -= 1;
+  expect_violation(cc, {act(1000, 0, 0, 5), bad}, "tBurst");
+}
+
+TEST(ProtocolChecker, OverlappingBurstsViolateBusOccupancy) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  // Delay the first CAS so the second one satisfies tRCD on its own bank
+  // (tCCD is per bank) yet its burst still overlaps on the shared bus.
+  const std::uint64_t c1 = 1000 + t.tRCD + 10;
+  const std::uint64_t c2 = c1 + t.tBurst - 1;
+  ASSERT_GE(c2, 1000 + t.tRRD + t.tRCD);
+  expect_violation(cc,
+                   {act(1000, 0, 0, 5), act(1000 + t.tRRD, 0, 1, 5),
+                    cas(cc, false, c1, 0, 0, 5),
+                    cas(cc, false, c2, 0, 1, 5)},
+                   "bus-overlap");
+}
+
+TEST(ProtocolChecker, WriteToReadTurnaroundViolatesTwtr) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  const std::uint64_t w = 1000 + t.tRCD;
+  const std::uint64_t w_end = w + t.tCWL + t.tBurst;
+  // Read data would start one cycle inside the write->read turnaround.
+  const std::uint64_t r = w_end + t.tWTR - 1 - t.tCL;
+  expect_violation(cc,
+                   {act(1000, 0, 0, 5), act(1000 + t.tRRD, 0, 1, 5),
+                    cas(cc, true, w, 0, 0, 5),
+                    cas(cc, false, r, 0, 1, 5)},
+                   "tWTR");
+}
+
+TEST(ProtocolChecker, ReadToWriteTurnaroundViolatesTrtw) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  const std::uint64_t r = 1000 + t.tRCD;
+  const std::uint64_t r_end = r + t.tCL + t.tBurst;
+  const std::uint64_t w = r_end + t.tRTW - 1 - t.tCWL;
+  expect_violation(cc,
+                   {act(1000, 0, 0, 5), act(1000 + t.tRRD, 0, 1, 5),
+                    cas(cc, false, r, 0, 0, 5),
+                    cas(cc, true, w, 0, 1, 5)},
+                   "tRTW");
+}
+
+TEST(ProtocolChecker, TooEarlyPreViolatesTras) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  expect_violation(cc, {act(1000, 0, 0, 5), pre(1000 + t.tRAS - 1, 0, 0)},
+                   "tRAS");
+}
+
+TEST(ProtocolChecker, PreAfterLateReadViolatesTrtp) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  const std::uint64_t r = 1000 + t.tRAS - 2;  // late read, tRCD satisfied
+  ASSERT_GE(r, 1000 + t.tRCD);
+  expect_violation(cc,
+                   {act(1000, 0, 0, 5), cas(cc, false, r, 0, 0, 5),
+                    pre(r + t.tRTP - 1, 0, 0)},
+                   "tRTP");
+}
+
+TEST(ProtocolChecker, PreAfterWriteViolatesTwr) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  const std::uint64_t w = 1000 + t.tRCD;
+  const std::uint64_t w_end = w + t.tCWL + t.tBurst;
+  ASSERT_GE(w_end + t.tWR, 1000 + t.tRAS + 1u);  // tRAS holds, tWR binds
+  expect_violation(cc,
+                   {act(1000, 0, 0, 5), cas(cc, true, w, 0, 0, 5),
+                    pre(w_end + t.tWR - 1, 0, 0)},
+                   "tWR");
+}
+
+TEST(ProtocolChecker, DriftingRefreshViolatesTrefi) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  expect_violation(cc, {ref(t.tREFI + 1, 0)}, "tREFI");
+  expect_violation(cc, {ref(t.tREFI, 0), ref(2 * t.tREFI - 1, 0)}, "tREFI");
+  EXPECT_EQ(audit(cc, {ref(t.tREFI, 0), ref(2 * t.tREFI, 1)})
+                .violation_count(),
+            1u);  // rank 1's first refresh is late by a whole period
+}
+
+TEST(ProtocolChecker, ActInsideRefreshBlackoutViolatesTrfc) {
+  const auto cc = test_config();
+  const auto& t = cc.device.timing;
+  expect_violation(
+      cc, {ref(t.tREFI, 0), act(t.tREFI + t.tRFC - 1, 0, 0, 1)}, "tRFC");
+  EXPECT_EQ(
+      audit(cc, {ref(t.tREFI, 0), act(t.tREFI + t.tRFC, 0, 0, 1)})
+          .violation_count(),
+      0u);
+  // The blackout is per rank: the other rank may activate immediately.
+  EXPECT_EQ(audit(cc, {ref(t.tREFI, 0), act(t.tREFI + 1, 1, 0, 1)})
+                .violation_count(),
+            0u);
+}
+
+TEST(ProtocolChecker, ClosePageRequiresAutoPrecharge) {
+  const auto cc = test_config(dram::RowPolicy::kClosePage);
+  const auto& t = cc.device.timing;
+  expect_violation(
+      cc, {act(1000, 0, 0, 5), cas(cc, false, 1000 + t.tRCD, 0, 0, 5)},
+      "close-page");
+}
+
+TEST(ProtocolChecker, ClosePageForbidsSecondCasPerActivation) {
+  const auto cc = test_config(dram::RowPolicy::kClosePage);
+  const auto& t = cc.device.timing;
+  const std::uint64_t c1 = 1000 + t.tRCD;
+  expect_violation(cc,
+                   {act(1000, 0, 0, 5), cas(cc, false, c1, 0, 0, 5, true),
+                    cas(cc, false, c1 + t.tBurst, 0, 0, 5, true)},
+                   "close-page");
+}
+
+TEST(ProtocolChecker, OutOfRangeRankRejected) {
+  const auto cc = test_config();
+  expect_violation(cc, {act(1000, cc.ranks, 0, 1)}, "address-range");
+  expect_violation(cc, {act(1000, 0, cc.banks, 1)}, "address-range");
+}
+
+TEST(ProtocolChecker, CountModeStoresBoundedDetail) {
+  const auto cc = test_config();
+  Ddr3ProtocolChecker checker(cc, "cap",
+                              Ddr3ProtocolChecker::Mode::kCount);
+  for (unsigned i = 0; i < 40; ++i) {
+    checker.on_command(cas(cc, false, 1000 + 100 * i, 0, 0, 1));
+  }
+  EXPECT_GE(checker.violation_count(), 40u);
+  EXPECT_LE(checker.violations().size(), Ddr3ProtocolChecker::kMaxStored);
+  EXPECT_FALSE(checker.report().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Negative property: the real Channel, audited under random traffic, is
+// protocol-clean in every configuration the simulator uses.
+
+void run_channel_clean(dram::RowPolicy policy, bool powerdown,
+                       std::uint64_t seed) {
+  dram::ChannelConfig cc = test_config(policy);
+  cc.powerdown_enabled = powerdown;
+  dram::Channel ch(cc);
+  Ddr3ProtocolChecker checker(cc, "channel",
+                              Ddr3ProtocolChecker::Mode::kCount);
+  ch.set_observer(&checker);
+
+  Rng rng(seed);
+  std::vector<dram::MemCompletion> out;
+  std::uint64_t now = 0;
+  unsigned sent = 0;
+  while ((sent < 600 || ch.pending() || ch.in_flight()) &&
+         now < 10'000'000) {
+    ++now;
+    // Bursty arrivals leave idle gaps that exercise power-down and refresh.
+    if (sent < 600 && rng.bernoulli(now % 4096 < 1024 ? 0.4 : 0.01)) {
+      dram::MemRequest r;
+      r.id = sent;
+      r.addr.rank = static_cast<std::uint32_t>(rng.next_below(cc.ranks));
+      r.addr.bank = static_cast<std::uint32_t>(rng.next_below(cc.banks));
+      r.addr.row = rng.next_below(32);
+      r.addr.col = static_cast<std::uint32_t>(rng.next_below(64));
+      r.is_write = rng.bernoulli(0.3);
+      if (ch.enqueue(r)) ++sent;
+    }
+    ch.tick(now, out);
+  }
+  ASSERT_EQ(sent, 600u);
+  ch.finalize(now);
+  EXPECT_GT(checker.commands_checked(), 1200u);
+  EXPECT_EQ(checker.violation_count(), 0u) << checker.report();
+}
+
+TEST(ProtocolCheckerProperty, RealChannelIsCleanClosePage) {
+  run_channel_clean(dram::RowPolicy::kClosePage, true, 21);
+  run_channel_clean(dram::RowPolicy::kClosePage, false, 22);
+}
+
+TEST(ProtocolCheckerProperty, RealChannelIsCleanOpenPage) {
+  run_channel_clean(dram::RowPolicy::kOpenPage, true, 23);
+  run_channel_clean(dram::RowPolicy::kOpenPage, false, 24);
+}
+
+TEST(ProtocolCheckerProperty, CheckedSystemSimRunCompletes) {
+  sim::SimOptions opts;
+  opts.target_instructions = 60'000;
+  opts.seed = 5;
+  opts.protocol_check = true;  // run() throws on any violation
+  const sim::RunResult r =
+      sim::run_experiment(ecc::SchemeId::kLotEcc5Parity,
+                          ecc::SystemScale::kQuadEquivalent, "lbm", opts);
+  EXPECT_GE(r.instructions, 60'000u);
+}
+
+TEST(ProtocolCheckerProperty, CheckedRunMatchesUncheckedRun) {
+  sim::SimOptions opts;
+  opts.target_instructions = 40'000;
+  opts.seed = 7;
+  const sim::RunResult plain =
+      sim::run_experiment(ecc::SchemeId::kChipkill18,
+                          ecc::SystemScale::kQuadEquivalent, "milc", opts);
+  opts.protocol_check = true;
+  const sim::RunResult checked =
+      sim::run_experiment(ecc::SchemeId::kChipkill18,
+                          ecc::SystemScale::kQuadEquivalent, "milc", opts);
+  // Observation must be free of side effects: bit-identical results.
+  EXPECT_EQ(plain.mem_cycles, checked.mem_cycles);
+  EXPECT_EQ(plain.instructions, checked.instructions);
+  EXPECT_EQ(plain.mem.reads, checked.mem.reads);
+  EXPECT_EQ(plain.mem.writes, checked.mem.writes);
+  EXPECT_DOUBLE_EQ(plain.epi_pj, checked.epi_pj);
+  EXPECT_DOUBLE_EQ(plain.ipc, checked.ipc);
+}
+
+}  // namespace
+}  // namespace eccsim::check

@@ -1,0 +1,125 @@
+// Concurrency stress tests for the work-stealing ThreadPool and the
+// per-worker Collector discipline.  These are the TSan targets: the tsan
+// CMake preset builds them with -fsanitize=thread, so any data race in
+// submit / steal / wait_idle or in the parallel-sweep pattern (one
+// Collector per cell, merge on the main thread) is reported as a failure
+// rather than a latent heisenbug.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+#include "sim/system.hpp"
+#include "stats/stats.hpp"
+
+namespace eccsim::runner {
+namespace {
+
+TEST(ThreadPoolStress, NestedSubmitsAcrossManyWaitIdleRounds) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> count{0};
+  std::uint64_t expected = 0;
+  for (unsigned round = 0; round < 25; ++round) {
+    for (unsigned i = 0; i < 40; ++i) {
+      // Each task fans out from inside a worker (own-deque push), the
+      // classic nested-parallelism shape that exercises stealing.
+      pool.submit([&pool, &count] {
+        count.fetch_add(1, std::memory_order_relaxed);
+        for (unsigned j = 0; j < 3; ++j) {
+          pool.submit(
+              [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    expected += 40 * 4;
+    pool.wait_idle();
+    ASSERT_EQ(count.load(), expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStress, ConcurrentExternalSubmitters) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> count{0};
+  std::vector<std::thread> submitters;
+  for (unsigned s = 0; s < 4; ++s) {
+    submitters.emplace_back([&pool, &count] {
+      for (unsigned i = 0; i < 250; ++i) {
+        pool.submit(
+            [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(ThreadPoolStress, WaitIdleFromSeveralThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> count{0};
+  for (unsigned i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::vector<std::thread> waiters;
+  for (unsigned w = 0; w < 3; ++w) {
+    waiters.emplace_back([&pool] { pool.wait_idle(); });
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(count.load(), 200u);
+}
+
+TEST(ThreadPoolStress, ParallelMiniSweepIsDeterministic) {
+  // The runner's fan-out pattern in miniature: every cell owns its
+  // SystemSim and its Collector; the main thread only reads results after
+  // wait_idle().  Duplicate cells must produce bit-identical numbers
+  // whatever the steal interleaving, and gauge polling during the run must
+  // not race the simulating worker.
+  struct Cell {
+    ecc::SchemeId scheme;
+    double epi = 0;
+    std::uint64_t mem_cycles = 0;
+    double gauge_instructions = 0;
+  };
+  std::vector<Cell> cells;
+  for (unsigned rep = 0; rep < 2; ++rep) {
+    cells.push_back(Cell{ecc::SchemeId::kChipkill18});
+    cells.push_back(Cell{ecc::SchemeId::kLotEcc5Parity});
+    cells.push_back(Cell{ecc::SchemeId::kMultiEcc});
+  }
+
+  ThreadPool pool(ThreadPool::default_thread_count());
+  for (Cell& cell : cells) {
+    pool.submit([&cell] {
+      stats::Config scfg;
+      scfg.enabled = true;
+      scfg.epoch_cycles = 5'000;
+      stats::Collector collector(scfg);
+      sim::SimOptions opts;
+      opts.target_instructions = 30'000;
+      opts.seed = 11;
+      opts.stats = &collector;
+      const sim::RunResult r = sim::run_experiment(
+          cell.scheme, ecc::SystemScale::kQuadEquivalent, "lbm", opts);
+      cell.epi = r.epi_pj;
+      cell.mem_cycles = r.mem_cycles;
+      cell.gauge_instructions =
+          collector.registry().value("cpu.committed_instructions");
+    });
+  }
+  pool.wait_idle();
+
+  const std::size_t half = cells.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    EXPECT_DOUBLE_EQ(cells[i].epi, cells[i + half].epi);
+    EXPECT_EQ(cells[i].mem_cycles, cells[i + half].mem_cycles);
+    EXPECT_DOUBLE_EQ(cells[i].gauge_instructions,
+                     cells[i + half].gauge_instructions);
+    EXPECT_GT(cells[i].epi, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace eccsim::runner
