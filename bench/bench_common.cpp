@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -306,8 +307,22 @@ void init(int argc, char** argv) {
     g_bench_name =
         slash == std::string::npos ? path : path.substr(slash + 1);
   }
+  // Valued flags accept both `--flag=value` and `--flag value`; returns
+  // the value and advances `i` past a space-separated one.
+  auto flag_value = [&](int& i, const std::string& arg,
+                        const std::string& name) -> const char* {
+    if (arg.rfind(name + "=", 0) == 0) return argv[i] + name.size() + 1;
+    if (arg != name) return nullptr;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s requires a value\n", g_bench_name.c_str(),
+                   name.c_str());
+      std::exit(2);
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const char* v = nullptr;
     if (arg == "--stats") {
       setenv("ECCSIM_STATS", "1", 1);
     } else if (arg.rfind("--stats-epoch=", 0) == 0) {
@@ -315,16 +330,42 @@ void init(int argc, char** argv) {
       setenv("STATS_EPOCH", arg.c_str() + 14, 1);
     } else if (arg.rfind("--trace=", 0) == 0) {
       setenv("STATS_TRACE", arg.c_str() + 8, 1);
+    } else if (arg == "--smoke") {
+      setenv("ECCSIM_SMOKE", "1", 1);
+    } else if (arg == "--quick") {
+      setenv("ECCSIM_QUICK", "1", 1);
+    } else if ((v = flag_value(i, arg, "--mc-systems")) != nullptr) {
+      setenv("ECCSIM_MC_SYSTEMS", v, 1);
+    } else if ((v = flag_value(i, arg, "--mc-chunk")) != nullptr) {
+      setenv("ECCSIM_MC_CHUNK", v, 1);
+    } else if ((v = flag_value(i, arg, "--mc-target-rel-ci")) != nullptr) {
+      setenv("ECCSIM_MC_TARGET_REL_CI", v, 1);
+    } else if ((v = flag_value(i, arg, "--mc-checkpoint")) != nullptr) {
+      setenv("ECCSIM_MC_CHECKPOINT", v, 1);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--stats] [--stats-epoch=N] [--trace=DIR]\n"
+          "          [--smoke|--quick] [--mc-systems N] [--mc-chunk N]\n"
+          "          [--mc-target-rel-ci X] [--mc-checkpoint FILE]\n"
           "  --stats          enable the stats registry, epoch time series,\n"
           "                   results/<bench>.stats.json, and the profiler\n"
           "  --stats-epoch=N  epoch length in memory cycles (implies "
           "--stats)\n"
           "  --trace=DIR      Chrome trace-event file per sweep cell in DIR\n"
+          "  --smoke          CI-sized run, outputs under .../smoke/\n"
+          "  --quick          reduced-fidelity run\n"
+          "  --mc-systems N   Monte Carlo system budget (overrides scaling)\n"
+          "  --mc-chunk N     MC systems per chunk (any value: results are\n"
+          "                   bit-identical; affects early-stop/checkpoint\n"
+          "                   granularity only)\n"
+          "  --mc-target-rel-ci X  stop MC runs early once the relative\n"
+          "                   95%% CI half-width of the estimate reaches X\n"
+          "  --mc-checkpoint FILE  append completed MC chunks to FILE and\n"
+          "                   skip them on rerun (kill-safe resume)\n"
           "Environment: ECCSIM_STATS, STATS_EPOCH, STATS_TRACE,\n"
-          "STATS_TRACE_LIMIT, ECCSIM_QUICK, ECCSIM_SMOKE, RUNNER_THREADS\n",
+          "STATS_TRACE_LIMIT, ECCSIM_QUICK, ECCSIM_SMOKE, RUNNER_THREADS,\n"
+          "ECCSIM_MC_SYSTEMS, ECCSIM_MC_CHUNK, ECCSIM_MC_TARGET_REL_CI,\n"
+          "ECCSIM_MC_CHECKPOINT\n",
           g_bench_name.c_str());
       std::exit(0);
     } else {
@@ -360,6 +401,40 @@ stats::Collector* new_collector(const std::string& workload,
 std::uint64_t target_instructions() {
   if (smoke_mode()) return 50'000;
   return quick_mode() ? 200'000 : 1'000'000;
+}
+
+faults::McOptions mc_options() {
+  faults::McOptions opts;
+  if (const char* v = std::getenv("ECCSIM_MC_CHUNK")) {
+    opts.chunk_size = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("ECCSIM_MC_TARGET_REL_CI")) {
+    opts.target_rel_ci = std::strtod(v, nullptr);
+  }
+  if (const char* v = std::getenv("ECCSIM_MC_CHECKPOINT")) {
+    opts.checkpoint_path = v;
+  }
+  if (stats_config().enabled) {
+    // One collector labeled ("mc", <bench>) carries every MC run's mc.*
+    // counters and rel-CI series into results/<bench>.stats.json.
+    static stats::Collector* col = new_collector("mc", g_bench_name);
+    opts.stats = &col->registry();
+  }
+  return opts;
+}
+
+unsigned mc_systems(unsigned full) {
+  if (const char* v = std::getenv("ECCSIM_MC_SYSTEMS")) {
+    const auto n = std::strtoul(v, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  unsigned n = full;
+  if (smoke_mode()) {
+    n = full / 20;
+  } else if (quick_mode()) {
+    n = full / 5;
+  }
+  return std::max(n, 200u);
 }
 
 runner::Report run_cells(const std::string& label,

@@ -27,6 +27,7 @@
 
 #include "common/table.hpp"
 #include "ecc/scheme.hpp"
+#include "faults/mc_engine.hpp"
 #include "runner/runner.hpp"
 #include "sim/system.hpp"
 #include "trace/workload.hpp"
@@ -42,8 +43,26 @@ namespace eccsim::bench {
 ///   --stats-epoch=N   epoch length in memory cycles (implies --stats)
 ///   --trace=DIR       Chrome trace-event files, one per sweep cell, in DIR
 ///                     (loadable in Perfetto / chrome://tracing)
-/// Call first in main(); unknown flags exit with usage.
+///   --smoke / --quick CI-sized / reduced fidelity (= ECCSIM_SMOKE/QUICK=1)
+///   --mc-systems N       Monte Carlo system budget override
+///   --mc-chunk N         MC systems per chunk (results identical for any)
+///   --mc-target-rel-ci X stop MC runs once the relative 95% CI reaches X
+///   --mc-checkpoint F    chunk-granular MC checkpoint/resume file
+/// The --mc-* flags accept both `--flag value` and `--flag=value` and map
+/// to ECCSIM_MC_SYSTEMS / ECCSIM_MC_CHUNK / ECCSIM_MC_TARGET_REL_CI /
+/// ECCSIM_MC_CHECKPOINT.  Call first in main(); unknown flags exit with
+/// usage.
 void init(int argc, char** argv);
+
+/// Monte Carlo engine knobs assembled from the --mc-* flags (or their
+/// ECCSIM_MC_* environment equivalents).  With --stats, the returned
+/// options carry a registry so the engine's mc.* counters and rel-CI
+/// series land in results/<bench>.stats.json.
+faults::McOptions mc_options();
+
+/// Monte Carlo system budget: `full` scaled down by --quick / --smoke
+/// (1/5 and 1/20, floor 200), or the --mc-systems override verbatim.
+unsigned mc_systems(unsigned full);
 
 /// Basename of the running binary ("bench" before init()).
 const std::string& bench_name();

@@ -12,6 +12,7 @@ using namespace eccsim;
 
 int main(int argc, char** argv) {
   eccsim::bench::init(argc, argv);
+  const auto opts = bench::mc_options();
   faults::SystemShape shape;  // 8 channels, 4 ranks, 9 chips (Sec. VI-C)
   const double life = 7 * units::kHoursPerYear;
 
@@ -38,11 +39,13 @@ int main(int argc, char** argv) {
   // Monte Carlo spot-check at an estimable operating point.
   const auto mc = faults::multichannel_window_probability(
       shape, faults::ddr3_vendor_average().scaled_to(100.0), 24.0 * 30,
-      life, 30'000, 7);
+      life, bench::mc_systems(30'000), 7, opts);
   std::printf(
       "Monte Carlo cross-check (100 FIT, 720h window): analytic %.3e vs\n"
-      "simulated %.3e\n\n",
-      mc.analytic_probability, mc.simulated_probability);
+      "simulated %.3e (%llu of %llu systems flagged)\n\n",
+      mc.analytic_probability, mc.simulated_probability,
+      static_cast<unsigned long long>(mc.bad_systems),
+      static_cast<unsigned long long>(mc.mc.systems_merged));
 
   // Sec. VI-C headline: 8-hour scrub at a pessimistic 100 FIT/chip.
   const double p8 = faults::analytic_multichannel_window_probability(

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Kill-and-resume check for the Monte Carlo checkpoint machinery.
+#
+# Usage: ./scripts/mc_resume_check.sh <bench-binary>
+#   e.g. ./scripts/mc_resume_check.sh build/bench/fig02_mtbf_channels
+#
+# Three smoke-sized runs of the same binary at a small chunk size:
+#   1. reference   -- no checkpoint
+#   2. interrupted -- checkpointing, slowed via ECCSIM_MC_CHUNK_DELAY_MS so
+#                     a SIGKILL reliably lands mid-run
+#   3. resumed     -- same checkpoint file, full speed
+# The resumed run must (a) actually restore chunks from the checkpoint
+# (its stderr reports "resuming") and (b) produce stdout and CSV output
+# byte-identical to the uninterrupted reference.  results/*.json files are
+# excluded from the comparison: they embed wall-clock timings.
+set -e
+
+bin=$1
+if [ -z "$bin" ] || [ ! -x "$bin" ]; then
+  echo "usage: $0 <bench-binary>" >&2
+  exit 2
+fi
+name=$(basename "$bin")
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+ck="$work/checkpoint.txt"
+csv="bench_results/smoke/$name.csv"
+
+export ECCSIM_SMOKE=1
+export ECCSIM_MC_CHUNK=32
+
+echo "[mc-resume] $name: reference run" >&2
+"$bin" >"$work/ref.out" 2>/dev/null
+cp "$csv" "$work/ref.csv"
+
+echo "[mc-resume] $name: interrupted run (SIGKILL mid-way)" >&2
+ECCSIM_MC_CHUNK_DELAY_MS=200 "$bin" --mc-checkpoint "$ck" \
+  >/dev/null 2>"$work/killed.err" &
+pid=$!
+sleep 1
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+if [ ! -s "$ck" ]; then
+  echo "[mc-resume] FAIL: no checkpoint written before the kill" >&2
+  exit 1
+fi
+chunks=$(grep -c '^mcchunk1 ' "$ck" || true)
+echo "[mc-resume] $name: $chunks chunk(s) checkpointed before the kill" >&2
+
+echo "[mc-resume] $name: resumed run" >&2
+"$bin" --mc-checkpoint "$ck" >"$work/res.out" 2>"$work/res.err"
+if ! grep -q 'resuming' "$work/res.err"; then
+  echo "[mc-resume] FAIL: resumed run restored nothing from $ck" >&2
+  cat "$work/res.err" >&2
+  exit 1
+fi
+if ! cmp -s "$work/ref.out" "$work/res.out"; then
+  echo "[mc-resume] FAIL: resumed stdout differs from the reference" >&2
+  diff "$work/ref.out" "$work/res.out" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$work/ref.csv" "$csv"; then
+  echo "[mc-resume] FAIL: resumed CSV differs from the reference" >&2
+  diff "$work/ref.csv" "$csv" >&2 || true
+  exit 1
+fi
+echo "[mc-resume] $name: OK (resume is byte-identical)" >&2

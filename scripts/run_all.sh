@@ -9,9 +9,14 @@
 #   --no-build  skip configure/build/ctest (binaries must already exist)
 #
 # Sweeps fan out over all cores by default; set RUNNER_THREADS=N to cap
-# (results are bit-identical at any thread count).  Every binary prints its
-# table to stdout and writes CSV + JSON result files; this driver adds
-# [n/total] progress and per-binary wall-clock to stderr.
+# (results are bit-identical at any thread count).  The fault Monte Carlo
+# benches (fig02/fig08/fig18/sec6b) additionally honor ECCSIM_MC_SYSTEMS,
+# ECCSIM_MC_CHUNK, ECCSIM_MC_TARGET_REL_CI, and ECCSIM_MC_CHECKPOINT --
+# exported here, they pass straight through to every binary (results are
+# bit-identical at any thread count and chunk size; see
+# docs/REPRODUCING.md).  Every binary prints its table to stdout and
+# writes CSV + JSON result files; this driver adds [n/total] progress and
+# per-binary wall-clock to stderr.
 set -e
 
 build=1

@@ -32,21 +32,29 @@ double SampleSet::mean() const {
   return s / static_cast<double>(samples_.size());
 }
 
+namespace {
+
+/// Shared nearest-rank lookup: smallest value with at least p% of samples
+/// at or below it.  p = 0 maps to the minimum, p = 100 to the maximum.
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  p = std::clamp(p, 0.0, 100.0);
+  const auto n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
 double SampleSet::percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  if (!sorted_valid_ || sorted_.size() != samples_.size()) {
+  if (!sorted_valid_) {
     sorted_ = samples_;
     std::sort(sorted_.begin(), sorted_.end());
     sorted_valid_ = true;
   }
-  p = std::clamp(p, 0.0, 100.0);
-  // Nearest-rank definition: smallest value with at least p% of samples at
-  // or below it.
-  const auto n = sorted_.size();
-  std::size_t rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(n)));
-  if (rank == 0) rank = 1;
-  return sorted_[rank - 1];
+  return nearest_rank(sorted_, p);
 }
 
 double SampleSet::min() const {
@@ -63,6 +71,51 @@ void SampleSet::merge(const SampleSet& other) {
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
   sorted_valid_ = false;
+}
+
+QuantileReservoir::QuantileReservoir(std::size_t cap) : cap_(cap) {
+  if (cap == 0) {
+    throw std::invalid_argument("QuantileReservoir: cap must be > 0");
+  }
+  heap_.reserve(cap);
+}
+
+void QuantileReservoir::add(double value, std::uint64_t key) {
+  ++offered_;
+  const Item item{key, value};
+  if (heap_.size() < cap_) {
+    heap_.push_back(item);
+    std::push_heap(heap_.begin(), heap_.end());
+    sorted_valid_ = false;
+    return;
+  }
+  if (item < heap_.front()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = item;
+    std::push_heap(heap_.begin(), heap_.end());
+    sorted_valid_ = false;
+  }
+}
+
+double QuantileReservoir::percentile(double p) const {
+  if (heap_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_.clear();
+    sorted_.reserve(heap_.size());
+    for (const Item& it : heap_) sorted_.push_back(it.value);
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return nearest_rank(sorted_, p);
+}
+
+double relative_ci95(const RunningStat& s) {
+  if (s.count() < 2 || s.mean() == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double half_width =
+      1.959963985 * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+  return half_width / std::fabs(s.mean());
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -48,14 +48,24 @@ class RunningStat {
 
 /// Retains all samples; supports exact percentiles.  Used for the Monte
 /// Carlo experiments that report 99.9th-percentile outcomes (Fig. 8).
+///
+/// Contract: the set is add-only (no removal or mutation of recorded
+/// samples).  percentile() caches a sorted copy; add() and merge()
+/// invalidate that cache explicitly, so interleaving adds and percentile
+/// queries is always correct -- just O(n log n) per query after a
+/// mutation.
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+  }
   void reserve(std::size_t n) { samples_.reserve(n); }
   std::size_t count() const { return samples_.size(); }
 
   double mean() const;
-  /// Exact percentile by nearest-rank; p in [0, 100].
+  /// Exact percentile by nearest-rank; p in [0, 100] (clamped).
+  /// p = 0 returns the minimum, p = 100 the maximum.
   double percentile(double p) const;
   double min() const;
   double max() const;
@@ -66,6 +76,52 @@ class SampleSet {
  private:
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;  // lazily (re)built by percentile()
+  mutable bool sorted_valid_ = false;
+};
+
+/// Bounded-memory percentile sketch for Monte Carlo populations too large
+/// to retain in full.  Keeps the `cap` samples with the smallest caller
+/// supplied 64-bit keys (a deterministic "bottom-k" sketch): with keys
+/// drawn from a hash of the sample's index, the retained set is a uniform
+/// random subset of everything offered, and -- unlike classic reservoir
+/// sampling -- it is independent of insertion order, thread count, and
+/// chunking, so percentile estimates are bit-identical under any parallel
+/// schedule.  While offered() <= capacity the sketch is exhaustive and
+/// percentiles are exact.
+class QuantileReservoir {
+ public:
+  explicit QuantileReservoir(std::size_t cap);
+
+  /// Offers one sample.  `key` must be a deterministic function of the
+  /// sample's identity (e.g. a hash of its Monte Carlo system index);
+  /// ties on key break on value so the retained set is a pure function
+  /// of the offered multiset.
+  void add(double value, std::uint64_t key);
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t offered() const { return offered_; }
+  std::size_t retained() const { return heap_.size(); }
+  /// True while every offered sample is still retained (percentiles are
+  /// exact rather than subsampled estimates).
+  bool exact() const { return offered_ <= cap_; }
+
+  /// Nearest-rank percentile over the retained subset; p in [0, 100]
+  /// (clamped).  0.0 when nothing was offered.
+  double percentile(double p) const;
+
+ private:
+  struct Item {
+    std::uint64_t key;
+    double value;
+    bool operator<(const Item& o) const {
+      return key != o.key ? key < o.key : value < o.value;
+    }
+  };
+
+  std::size_t cap_;
+  std::uint64_t offered_ = 0;
+  std::vector<Item> heap_;  // max-heap on (key, value): front = largest kept
+  mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
 };
 
@@ -90,6 +146,12 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
 };
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// mean, relative to |mean|.  Returns +inf when fewer than two samples
+/// have been seen or the mean is zero (no meaningful relative width), so
+/// `relative_ci95(s) <= target` is a safe convergence test.
+double relative_ci95(const RunningStat& s);
 
 /// Geometric mean of a set of (positive) values.  The paper's "average
 /// reduction across workloads" figures are cross-workload means of ratios;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace eccsim::units {
 
@@ -21,8 +22,13 @@ inline constexpr double fit_to_per_hour(double fit) { return fit * 1e-9; }
 
 /// Mean time between failures (hours) of a population of `devices` devices
 /// each failing at `fit` FIT, assuming independent exponential failures.
+/// A population that never fails (zero rate or zero devices) has an
+/// infinite MTBF; returning +inf explicitly keeps the 1/x out of the
+/// 0 * inf = NaN trap and lets serializers map the value to JSON null
+/// instead of emitting an invalid document.
 inline constexpr double mtbf_hours(double fit, double devices) {
-  return 1.0 / (fit_to_per_hour(fit) * devices);
+  const double rate = fit_to_per_hour(fit) * devices;
+  return rate > 0.0 ? 1.0 / rate : std::numeric_limits<double>::infinity();
 }
 
 inline constexpr std::uint64_t kKiB = 1024ULL;

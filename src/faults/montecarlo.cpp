@@ -2,48 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
-#include <thread>
+#include <cstdio>
 #include <unordered_set>
 
 #include "common/units.hpp"
+#include "stats/stats.hpp"
 
 namespace eccsim::faults {
 
 namespace {
 
-/// Deterministic per-system generator: cheap to derive for any index
-/// (unlike repeated jump()), still statistically independent streams.
-Rng system_rng(std::uint64_t seed, unsigned index) {
-  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
-  return Rng(sm.next());
+/// Checkpoint/series tag for one study invocation: the study kind plus
+/// every model parameter that shapes the sampled stream.  (The engine
+/// additionally keys on seed, budget, chunk size, and field layout.)
+std::string run_tag(const char* kind, const SystemShape& shape,
+                    double total_fit, double lifetime_hours, double extra) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s_c%ur%uk%ub%u_fit%.6g_life%.6g_x%.6g",
+                kind, shape.channels, shape.ranks_per_channel,
+                shape.chips_per_rank, shape.banks_per_rank, total_fit,
+                lifetime_hours, extra);
+  return buf;
+}
+
+void count_events(const McOptions& opts, std::uint64_t events) {
+  if (opts.stats != nullptr) {
+    opts.stats->counter("mc.events_sampled")->inc(events);
+  }
 }
 
 }  // namespace
-
-void parallel_systems(unsigned systems, std::uint64_t seed,
-                      const std::function<void(unsigned, Rng&)>& fn) {
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const unsigned workers = std::min(hw, systems == 0 ? 1u : systems);
-  if (workers <= 1) {
-    for (unsigned i = 0; i < systems; ++i) {
-      Rng rng = system_rng(seed, i);
-      fn(i, rng);
-    }
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      for (unsigned i = w; i < systems; i += workers) {
-        Rng rng = system_rng(seed, i);
-        fn(i, rng);
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-}
 
 std::vector<FaultEvent> sample_lifetime(const SystemShape& shape,
                                         const FitRates& rates,
@@ -81,81 +69,117 @@ double analytic_mtbf_hours(const SystemShape& shape, double total_fit) {
 
 MtbfResult mtbf_between_channels(const SystemShape& shape,
                                  const FitRates& rates, unsigned systems,
-                                 double lifetime_hours, std::uint64_t seed) {
+                                 double lifetime_hours, std::uint64_t seed,
+                                 const McOptions& opts) {
   MtbfResult out;
   out.analytic_hours = analytic_mtbf_hours(shape, rates.total());
-  std::mutex mu;
   double gap_sum = 0;
   std::uint64_t gaps = 0;
-  parallel_systems(systems, seed, [&](unsigned, Rng& rng) {
-    const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
-    double local_sum = 0;
-    std::uint64_t local_gaps = 0;
-    for (std::size_t i = 1; i < events.size(); ++i) {
-      if (events[i].channel != events[i - 1].channel) {
-        local_sum += events[i].time_hours - events[i - 1].time_hours;
-        ++local_gaps;
-      }
-    }
-    const std::scoped_lock lock(mu);
-    gap_sum += local_sum;
-    gaps += local_gaps;
-  });
+  std::uint64_t events_total = 0;
+  // CI proxy for early stop: the per-system mean inter-channel gap (over
+  // systems that observed at least one gap).
+  RunningStat per_system;
+  // Per-system fields: [0] sum of inter-channel gaps, [1] gap count,
+  // [2] fault events sampled.
+  out.mc = mc_run(
+      systems, seed, 3,
+      run_tag("mtbf", shape, rates.total(), lifetime_hours, 0), opts,
+      [&](unsigned, Rng& rng, double* f) {
+        const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
+        double local_sum = 0;
+        std::uint64_t local_gaps = 0;
+        for (std::size_t i = 1; i < events.size(); ++i) {
+          if (events[i].channel != events[i - 1].channel) {
+            local_sum += events[i].time_hours - events[i - 1].time_hours;
+            ++local_gaps;
+          }
+        }
+        f[0] = local_sum;
+        f[1] = static_cast<double>(local_gaps);
+        f[2] = static_cast<double>(events.size());
+      },
+      [&](unsigned, const double* f) {
+        gap_sum += f[0];
+        gaps += static_cast<std::uint64_t>(f[1]);
+        events_total += static_cast<std::uint64_t>(f[2]);
+        if (f[1] > 0) per_system.add(f[0] / f[1]);
+      },
+      [&] { return relative_ci95(per_system); });
   out.gaps_observed = gaps;
-  out.simulated_hours = gaps ? gap_sum / static_cast<double>(gaps) : 0.0;
+  out.events_sampled = events_total;
+  if (gaps > 0) {
+    out.simulated_hours = gap_sum / static_cast<double>(gaps);
+  }  // else: stays NaN -- no gaps observed is "no data", not 0 hours
+  count_events(opts, events_total);
   return out;
 }
 
 EolResult eol_materialized_fraction(const SystemShape& shape,
                                     const FitRates& rates, unsigned systems,
-                                    double lifetime_hours,
-                                    std::uint64_t seed) {
-  std::mutex mu;
-  SampleSet fractions;
-  fractions.reserve(systems);
-  unsigned with_any = 0;
-  parallel_systems(systems, seed, [&](unsigned, Rng& rng) {
-    const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
-    // Pairs marked faulty: key = channel * banks_per_channel/2 + pair.
-    std::unordered_set<std::uint64_t> faulty_pairs;
-    for (const FaultEvent& e : events) {
-      if (!saturates_error_counter(e.type)) continue;
-      const unsigned affected =
-          banks_affected(e.type, shape.banks_per_rank,
-                         shape.ranks_per_channel);
-      if (e.type == FaultType::kMultiRank) {
-        // Every bank of every rank in the channel.
-        for (unsigned r = 0; r < shape.ranks_per_channel; ++r) {
-          for (unsigned b = 0; b < shape.banks_per_rank; b += 2) {
-            faulty_pairs.insert(
-                (static_cast<std::uint64_t>(e.channel) << 32) |
-                (r << 8) | (b / 2));
+                                    double lifetime_hours, std::uint64_t seed,
+                                    const McOptions& opts) {
+  RunningStat fractions;
+  QuantileReservoir tail(kEolReservoirCap);
+  std::uint64_t with_any = 0;
+  std::uint64_t events_total = 0;
+  // Per-system fields: [0] faulty-pair memory fraction, [1] had any
+  // faulty pair, [2] fault events sampled.
+  EolResult out;
+  out.mc = mc_run(
+      systems, seed, 3,
+      run_tag("eol", shape, rates.total(), lifetime_hours, 0), opts,
+      [&](unsigned, Rng& rng, double* f) {
+        const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
+        // Pairs marked faulty: key = channel * banks_per_channel/2 + pair.
+        std::unordered_set<std::uint64_t> faulty_pairs;
+        for (const FaultEvent& e : events) {
+          if (!saturates_error_counter(e.type)) continue;
+          const unsigned affected =
+              banks_affected(e.type, shape.banks_per_rank,
+                             shape.ranks_per_channel);
+          if (e.type == FaultType::kMultiRank) {
+            // Every bank of every rank in the channel.
+            for (unsigned r = 0; r < shape.ranks_per_channel; ++r) {
+              for (unsigned b = 0; b < shape.banks_per_rank; b += 2) {
+                faulty_pairs.insert(
+                    (static_cast<std::uint64_t>(e.channel) << 32) |
+                    (r << 8) | (b / 2));
+              }
+            }
+          } else {
+            // Banks within the faulted chip's rank, starting at a random bank.
+            const unsigned first =
+                static_cast<unsigned>(rng.next_below(shape.banks_per_rank));
+            for (unsigned k = 0; k < affected; ++k) {
+              const unsigned b = (first + k) % shape.banks_per_rank;
+              faulty_pairs.insert(
+                  (static_cast<std::uint64_t>(e.channel) << 32) |
+                  (e.rank << 8) | (b / 2));
+            }
           }
         }
-      } else {
-        // Banks within the faulted chip's rank, starting at a random bank.
-        const unsigned first =
-            static_cast<unsigned>(rng.next_below(shape.banks_per_rank));
-        for (unsigned k = 0; k < affected; ++k) {
-          const unsigned b = (first + k) % shape.banks_per_rank;
-          faulty_pairs.insert(
-              (static_cast<std::uint64_t>(e.channel) << 32) |
-              (e.rank << 8) | (b / 2));
-        }
-      }
-    }
-    const double fraction =
-        2.0 * static_cast<double>(faulty_pairs.size()) /
-        static_cast<double>(shape.total_banks());
-    const std::scoped_lock lock(mu);
-    fractions.add(fraction);
-    if (!faulty_pairs.empty()) ++with_any;
-  });
-  EolResult out;
+        f[0] = 2.0 * static_cast<double>(faulty_pairs.size()) /
+               static_cast<double>(shape.total_banks());
+        f[1] = faulty_pairs.empty() ? 0.0 : 1.0;
+        f[2] = static_cast<double>(events.size());
+      },
+      [&](unsigned index, const double* f) {
+        fractions.add(f[0]);
+        tail.add(f[0], mc_sample_key(seed, index));
+        if (f[1] > 0) ++with_any;
+        events_total += static_cast<std::uint64_t>(f[2]);
+      },
+      [&] { return relative_ci95(fractions); });
   out.mean_fraction = fractions.mean();
-  out.p999_fraction = fractions.percentile(99.9);
+  out.p999_fraction = tail.percentile(99.9);
+  out.p999_exact = tail.exact();
   out.systems_with_any =
-      systems ? static_cast<double>(with_any) / systems : 0.0;
+      out.mc.systems_merged != 0
+          ? static_cast<double>(with_any) /
+                static_cast<double>(out.mc.systems_merged)
+          : 0.0;
+  out.events_sampled = events_total;
+  count_events(opts, events_total);
   return out;
 }
 
@@ -179,45 +203,71 @@ double analytic_multichannel_window_probability(const SystemShape& shape,
 
 ScrubWindowResult multichannel_window_probability(
     const SystemShape& shape, const FitRates& rates, double window_hours,
-    double lifetime_hours, unsigned systems, std::uint64_t seed) {
+    double lifetime_hours, unsigned systems, std::uint64_t seed,
+    const McOptions& opts) {
   ScrubWindowResult out;
   out.analytic_probability = analytic_multichannel_window_probability(
       shape, rates.total(), window_hours, lifetime_hours);
-  std::mutex mu;
-  unsigned bad_systems = 0;
-  parallel_systems(systems, seed, [&](unsigned, Rng& rng) {
-    const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
-    // Walk the sorted events; flag any window containing two channels.
-    bool bad = false;
-    std::size_t i = 0;
-    while (i < events.size() && !bad) {
-      const auto window_index =
-          static_cast<std::uint64_t>(events[i].time_hours / window_hours);
-      const unsigned first_channel = events[i].channel;
-      std::size_t j = i + 1;
-      while (j < events.size() &&
-             static_cast<std::uint64_t>(events[j].time_hours /
-                                        window_hours) == window_index) {
-        if (events[j].channel != first_channel) {
-          bad = true;
-          break;
+  RunningStat bernoulli;
+  std::uint64_t bad_systems = 0;
+  std::uint64_t events_total = 0;
+  // Per-system fields: [0] had a multi-channel window, [1] events sampled.
+  out.mc = mc_run(
+      systems, seed, 2,
+      run_tag("scrub", shape, rates.total(), lifetime_hours, window_hours),
+      opts,
+      [&](unsigned, Rng& rng, double* f) {
+        const auto events = sample_lifetime(shape, rates, lifetime_hours, rng);
+        // Walk the sorted events; flag any window containing two channels.
+        bool bad = false;
+        std::size_t i = 0;
+        while (i < events.size() && !bad) {
+          const auto window_index =
+              static_cast<std::uint64_t>(events[i].time_hours / window_hours);
+          const unsigned first_channel = events[i].channel;
+          std::size_t j = i + 1;
+          while (j < events.size() &&
+                 static_cast<std::uint64_t>(events[j].time_hours /
+                                            window_hours) == window_index) {
+            if (events[j].channel != first_channel) {
+              bad = true;
+              break;
+            }
+            ++j;
+          }
+          i = j;
         }
-        ++j;
-      }
-      i = j;
-    }
-    if (bad) {
-      const std::scoped_lock lock(mu);
-      ++bad_systems;
-    }
-  });
+        f[0] = bad ? 1.0 : 0.0;
+        f[1] = static_cast<double>(events.size());
+      },
+      [&](unsigned, const double* f) {
+        bernoulli.add(f[0]);
+        if (f[0] > 0) ++bad_systems;
+        events_total += static_cast<std::uint64_t>(f[1]);
+      },
+      [&] { return relative_ci95(bernoulli); });
+  out.bad_systems = bad_systems;
+  out.events_sampled = events_total;
   out.simulated_probability =
-      systems ? static_cast<double>(bad_systems) / systems : 0.0;
+      out.mc.systems_merged != 0
+          ? static_cast<double>(bad_systems) /
+                static_cast<double>(out.mc.systems_merged)
+          : 0.0;
+  count_events(opts, events_total);
   return out;
 }
 
-double hpc_stall_fraction(const HpcStallParams& params,
-                          const FitRates& rates) {
+namespace {
+
+/// Shared derivation for the Sec. VI-B model: machine-wide rate of
+/// migration-triggering (column-or-larger) faults and the stall per event.
+struct HpcDerived {
+  double events_per_hour = 0;
+  double stall_hours_per_event = 0;
+};
+
+HpcDerived hpc_derive(const HpcStallParams& params, const FitRates& rates) {
+  HpcDerived d;
   const double nodes = params.total_memory_bytes / params.node_memory_bytes;
   const double chips_per_node =
       params.node_memory_bytes / params.chip_capacity_bytes;
@@ -227,7 +277,7 @@ double hpc_stall_fraction(const HpcStallParams& params,
     const auto type = static_cast<FaultType>(t);
     if (saturates_error_counter(type)) sat_fit += rates[type];
   }
-  const double events_per_hour =
+  d.events_per_hour =
       units::fit_to_per_hour(sat_fit) * chips_per_node * nodes;
   // Stall per event: migrate the node's memory over its NIC, plus
   // reconstructing the ECC correction bits, which requires streaming the
@@ -237,8 +287,59 @@ double hpc_stall_fraction(const HpcStallParams& params,
       params.node_memory_bytes / params.nic_bandwidth_bytes_per_s;
   const double reconstruct_s =
       params.node_memory_bytes / (50.0 * 1024 * 1024 * 1024);
-  const double stall_hours = (migrate_s + reconstruct_s) / 3600.0;
-  return events_per_hour * stall_hours;
+  d.stall_hours_per_event = (migrate_s + reconstruct_s) / 3600.0;
+  return d;
+}
+
+}  // namespace
+
+double hpc_stall_fraction(const HpcStallParams& params,
+                          const FitRates& rates) {
+  const HpcDerived d = hpc_derive(params, rates);
+  return d.events_per_hour * d.stall_hours_per_event;
+}
+
+HpcStallResult hpc_stall_fraction_mc(const HpcStallParams& params,
+                                     const FitRates& rates, unsigned systems,
+                                     std::uint64_t seed,
+                                     const McOptions& opts) {
+  HpcStallResult out;
+  out.analytic_fraction = hpc_stall_fraction(params, rates);
+  const HpcDerived d = hpc_derive(params, rates);
+  RunningStat fractions;
+  std::uint64_t events_total = 0;
+  SystemShape tag_shape;  // the HPC model has no channel shape; tag on size
+  tag_shape.channels = 0;
+  // Per-system fields: [0] stalled fraction of the lifetime, [1] migration
+  // events sampled.
+  out.mc = mc_run(
+      systems, seed, 2,
+      run_tag("hpc", tag_shape, rates.total(), params.lifetime_hours,
+              params.total_memory_bytes / params.node_memory_bytes),
+      opts,
+      [&](unsigned, Rng& rng, double* f) {
+        // Poisson stream of migration events over the whole machine.
+        std::uint64_t n = 0;
+        if (d.events_per_hour > 0) {
+          double t = rng.exponential(d.events_per_hour);
+          while (t < params.lifetime_hours) {
+            ++n;
+            t += rng.exponential(d.events_per_hour);
+          }
+        }
+        f[0] = static_cast<double>(n) * d.stall_hours_per_event /
+               params.lifetime_hours;
+        f[1] = static_cast<double>(n);
+      },
+      [&](unsigned, const double* f) {
+        fractions.add(f[0]);
+        events_total += static_cast<std::uint64_t>(f[1]);
+      },
+      [&] { return relative_ci95(fractions); });
+  out.simulated_fraction = fractions.mean();
+  out.events_sampled = events_total;
+  count_events(opts, events_total);
+  return out;
 }
 
 }  // namespace eccsim::faults

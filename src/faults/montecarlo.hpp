@@ -7,17 +7,22 @@
 //
 // Sampling: each chip's faults of each type arrive as independent Poisson
 // processes (the exponential failure distribution the paper assumes).
-// Simulations fan out across host threads with deterministic per-system
-// RNG substreams, so results are reproducible for any thread count.
+// Execution runs on the chunked Monte Carlo engine (mc_engine.hpp) over
+// the shared work-stealing runner pool: deterministic per-system RNG
+// substreams with in-order merging make every result bit-identical at any
+// thread count and chunk size, and each study accepts McOptions for
+// confidence-interval early stop, chunk-granular checkpoint/resume, and
+// mc.* observability.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "faults/fault_model.hpp"
+#include "faults/mc_engine.hpp"
 
 namespace eccsim::faults {
 
@@ -61,19 +66,27 @@ std::vector<FaultEvent> sample_lifetime(const SystemShape& shape,
 
 struct MtbfResult {
   double analytic_hours = 0;     ///< 1 / (total fault rate of the system)
-  double simulated_hours = 0;    ///< mean observed gap between successive
-                                 ///< faults in different channels
+  /// Mean observed gap between successive faults in different channels.
+  /// NaN when gaps_observed == 0: "no data" is distinct from "zero MTBF"
+  /// (the JSON writer serializes the NaN as null).  Check has_data().
+  double simulated_hours = std::numeric_limits<double>::quiet_NaN();
   std::uint64_t gaps_observed = 0;
+  std::uint64_t events_sampled = 0;
+  McRunInfo mc;
+
+  bool has_data() const { return gaps_observed > 0; }
 };
 
 /// Analytic mean time between faults anywhere in the system.  Faults in
 /// *different* channels differ from this only by the (tiny) probability of
-/// two consecutive faults sharing a channel.
+/// two consecutive faults sharing a channel.  +inf when the total rate or
+/// the chip population is zero (a system that never faults).
 double analytic_mtbf_hours(const SystemShape& shape, double total_fit);
 
 MtbfResult mtbf_between_channels(const SystemShape& shape,
                                  const FitRates& rates, unsigned systems,
-                                 double lifetime_hours, std::uint64_t seed);
+                                 double lifetime_hours, std::uint64_t seed,
+                                 const McOptions& opts = {});
 
 // ---------------------------------------------------------------------------
 // Fig. 8 / Table III: end-of-life materialized-correction-bit fraction.
@@ -81,16 +94,26 @@ MtbfResult mtbf_between_channels(const SystemShape& shape,
 struct EolResult {
   double mean_fraction = 0;    ///< average fraction of memory in faulty pairs
   double p999_fraction = 0;    ///< 99.9th percentile across systems
+  /// Whether p999_fraction is exact (every sample retained) or estimated
+  /// from the bounded-memory reservoir (systems > reservoir capacity).
+  bool p999_exact = true;
   double systems_with_any = 0; ///< fraction of systems with >= 1 faulty pair
+  std::uint64_t events_sampled = 0;
+  McRunInfo mc;
 };
+
+/// Retained-sample bound for the Fig. 8 tail percentile: populations up to
+/// this size get exact percentiles; beyond it a deterministic bottom-k
+/// reservoir (common/stats.hpp) bounds memory at this many samples.
+inline constexpr std::size_t kEolReservoirCap = 1 << 16;
 
 /// Simulates `systems` systems for `lifetime_hours` and reports the
 /// fraction of memory whose ECC correction bits end up stored in memory
 /// (i.e. the memory of bank pairs marked faulty), Sec. III-E.
 EolResult eol_materialized_fraction(const SystemShape& shape,
                                     const FitRates& rates, unsigned systems,
-                                    double lifetime_hours,
-                                    std::uint64_t seed);
+                                    double lifetime_hours, std::uint64_t seed,
+                                    const McOptions& opts = {});
 
 // ---------------------------------------------------------------------------
 // Fig. 18 / Sec. VI-C: scrub-interval analysis.
@@ -98,6 +121,9 @@ EolResult eol_materialized_fraction(const SystemShape& shape,
 struct ScrubWindowResult {
   double analytic_probability = 0;   ///< P(>=2 channels fault in any window)
   double simulated_probability = 0;
+  std::uint64_t bad_systems = 0;     ///< systems with >= 1 multi-channel window
+  std::uint64_t events_sampled = 0;
+  McRunInfo mc;
 };
 
 /// Analytic probability that faults occur in more than one channel within
@@ -109,7 +135,8 @@ double analytic_multichannel_window_probability(const SystemShape& shape,
 
 ScrubWindowResult multichannel_window_probability(
     const SystemShape& shape, const FitRates& rates, double window_hours,
-    double lifetime_hours, unsigned systems, std::uint64_t seed);
+    double lifetime_hours, unsigned systems, std::uint64_t seed,
+    const McOptions& opts = {});
 
 // ---------------------------------------------------------------------------
 // Sec. VI-B: HPC stall estimate.
@@ -127,13 +154,19 @@ struct HpcStallParams {
 double hpc_stall_fraction(const HpcStallParams& params,
                           const FitRates& rates);
 
-// ---------------------------------------------------------------------------
-// Shared helper: deterministic parallel map over system indices.
+struct HpcStallResult {
+  double analytic_fraction = 0;
+  double simulated_fraction = 0;
+  std::uint64_t events_sampled = 0;  ///< migration events across all systems
+  McRunInfo mc;
+};
 
-/// Runs fn(system_index, rng) for each index in [0, systems) across host
-/// threads; each index gets Rng(seed).substream(index), so the result set
-/// is independent of the thread count.
-void parallel_systems(unsigned systems, std::uint64_t seed,
-                      const std::function<void(unsigned, Rng&)>& fn);
+/// Monte Carlo cross-check of hpc_stall_fraction: samples the Poisson
+/// stream of column-or-larger faults over the whole machine for `systems`
+/// independent machine lifetimes and accumulates the per-event stall.
+HpcStallResult hpc_stall_fraction_mc(const HpcStallParams& params,
+                                     const FitRates& rates, unsigned systems,
+                                     std::uint64_t seed,
+                                     const McOptions& opts = {});
 
 }  // namespace eccsim::faults

@@ -113,6 +113,8 @@ void ThreadPool::wait_idle() {
   done_cv_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
+bool ThreadPool::on_worker_thread() { return tl_pool != nullptr; }
+
 unsigned ThreadPool::default_thread_count() {
   if (const char* env = std::getenv("RUNNER_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);

@@ -56,6 +56,12 @@ class ThreadPool {
   /// (minimum 1).
   static unsigned default_thread_count();
 
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  /// Nested fan-outs (e.g. a fault Monte Carlo launched from inside a
+  /// sweep cell) use this to run inline on the calling worker instead of
+  /// spinning up a second pool and oversubscribing the machine.
+  static bool on_worker_thread();
+
  private:
   struct Worker {
     std::deque<std::function<void()>> deque;

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -127,6 +128,79 @@ TEST(SampleSet, PercentileAfterMoreSamples) {
   EXPECT_DOUBLE_EQ(s.percentile(99.9), 500.0);  // sorted cache invalidated
 }
 
+TEST(SampleSet, SingleSampleIsEveryPercentile) {
+  SampleSet s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.5);
+}
+
+TEST(SampleSet, CacheInvalidatesOnEveryInterleavedAdd) {
+  // The add-only contract: percentile() may cache the sorted view, but
+  // any add() must invalidate it -- even when the new sample lands below
+  // the current minimum.
+  SampleSet s;
+  s.add(10);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+  s.add(30);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+}
+
+TEST(QuantileReservoir, ExactWhileUnderCapacity) {
+  QuantileReservoir r(100);
+  for (int i = 1; i <= 50; ++i) r.add(i, static_cast<std::uint64_t>(i * 7));
+  EXPECT_TRUE(r.exact());
+  EXPECT_EQ(r.retained(), 50u);
+  EXPECT_DOUBLE_EQ(r.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(r.percentile(100), 50.0);
+}
+
+TEST(QuantileReservoir, BoundsMemoryAndIsOrderIndependent) {
+  // Retention is bottom-k by key, so any insertion order keeps the same
+  // sample set -- the property the Monte Carlo engine relies on for
+  // chunk/thread-order independence.
+  QuantileReservoir fwd(16), rev(16);
+  for (int i = 0; i < 1000; ++i) {
+    fwd.add(i, SplitMix64(static_cast<std::uint64_t>(i)).next());
+  }
+  for (int i = 999; i >= 0; --i) {
+    rev.add(i, SplitMix64(static_cast<std::uint64_t>(i)).next());
+  }
+  EXPECT_FALSE(fwd.exact());
+  EXPECT_EQ(fwd.retained(), 16u);
+  EXPECT_EQ(fwd.offered(), 1000u);
+  for (double p : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(fwd.percentile(p), rev.percentile(p));
+  }
+}
+
+TEST(QuantileReservoir, RejectsZeroCapacity) {
+  EXPECT_THROW(QuantileReservoir(0), std::invalid_argument);
+}
+
+TEST(RelativeCi95, ShrinksWithSamplesAndGuardsDegenerateInputs) {
+  RunningStat one;
+  one.add(5.0);
+  EXPECT_TRUE(std::isinf(relative_ci95(one)));  // n < 2: no CI yet
+  RunningStat zero_mean;
+  zero_mean.add(-1.0);
+  zero_mean.add(1.0);
+  EXPECT_TRUE(std::isinf(relative_ci95(zero_mean)));
+  Rng rng(11);
+  RunningStat small, large;
+  for (int i = 0; i < 100; ++i) small.add(1.0 + rng.next_double());
+  large = small;
+  for (int i = 0; i < 9900; ++i) large.add(1.0 + rng.next_double());
+  EXPECT_LT(relative_ci95(large), relative_ci95(small));
+  EXPECT_GT(relative_ci95(large), 0.0);
+}
+
 TEST(Histogram, BinningAndClamping) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);   // bin 0
@@ -188,6 +262,15 @@ TEST(Units, FitConversions) {
   EXPECT_DOUBLE_EQ(units::fit_to_per_hour(44.0), 44e-9);
   // 288 chips at 44 FIT: ~78,914 hours MTBF.
   EXPECT_NEAR(units::mtbf_hours(44.0, 288), 78914, 1.0);
+}
+
+TEST(Units, MtbfOfNonFailingSystemIsInfiniteNotDivideByZero) {
+  // A zero rate or an empty device population never fails: +inf, not a
+  // division by zero (which would be NaN-adjacent UB under -ffast-math
+  // style reasoning and serialize as garbage).
+  EXPECT_TRUE(std::isinf(units::mtbf_hours(0.0, 288)));
+  EXPECT_TRUE(std::isinf(units::mtbf_hours(44.0, 0.0)));
+  EXPECT_GT(units::mtbf_hours(0.0, 0.0), 0.0);  // +inf, positive
 }
 
 TEST(Units, PicojouleIdentity) {

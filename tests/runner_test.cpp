@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -215,6 +216,18 @@ TEST(JsonTest, StructuredRoundTripPreservesOrderAndValues) {
   EXPECT_EQ(back.members()[0].first, "name");
   EXPECT_EQ(back.members()[3].first, "values");
   EXPECT_EQ(back.at("values").items()[2].as_number(), 3.0);
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  // IEEE non-finite values have no JSON representation; emitting "inf" or
+  // "nan" would make every downstream parser choke.  The writer degrades
+  // them to null (the MtbfResult "no data" NaN sentinel relies on this).
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+  Json obj = Json::object();
+  obj.set("mtbf", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(Json::parse(obj.dump()).at("mtbf").is_null());
 }
 
 TEST(JsonTest, ParseRejectsMalformedInput) {
