@@ -19,11 +19,12 @@ namespace eccsim::bench {
 
 namespace {
 
-// Root seed for the whole evaluation; per-workload substreams are derived
-// from it so every scheme observes the same stimulus for a given workload
-// (the comparisons in Figs. 10-17 are paired) while distinct workloads get
-// statistically independent streams.
-constexpr std::uint64_t kRootSeed = 1;
+// Per-workload stimulus seeds come from trace::paper_sweep_seed: substreams
+// of root seed 1, so every scheme observes the same stimulus for a given
+// workload (the comparisons in Figs. 10-17 are paired) while distinct
+// workloads get statistically independent streams.  tracetool records with
+// the same function, which is what makes recorded traces replay
+// bit-identically into these sweeps.
 
 // Process start, approximated at static-init time; emit() reports elapsed
 // wall-clock relative to it.
@@ -65,6 +66,58 @@ std::string cache_path(ecc::SystemScale scale) {
 }
 
 std::string g_bench_name = "bench";
+
+/// Trace record/replay controls (the --trace-in/--trace-out/--trace-point
+/// flags set these; scripts can set the environment directly).
+std::string trace_in_dir() {
+  const char* v = std::getenv("ECCSIM_TRACE_IN");
+  return v != nullptr ? std::string(v) : std::string();
+}
+std::string trace_out_dir() {
+  const char* v = std::getenv("ECCSIM_TRACE_OUT");
+  return v != nullptr ? std::string(v) : std::string();
+}
+tracefile::CapturePoint trace_point() {
+  const char* v = std::getenv("ECCSIM_TRACE_POINT");
+  const std::string s = v != nullptr ? v : "pre";
+  if (s == "pre") return tracefile::CapturePoint::kPreLlc;
+  if (s == "post") return tracefile::CapturePoint::kPostLlc;
+  std::fprintf(stderr, "%s: ECCSIM_TRACE_POINT/--trace-point must be 'pre' "
+               "or 'post', got '%s'\n", g_bench_name.c_str(), s.c_str());
+  std::exit(2);
+}
+
+/// Resolves the replay file for one sweep cell: a shared per-workload
+/// trace first (pre-LLC stimulus is scheme-independent), then a per-cell
+/// one.  Runs on the main thread before the fan-out so a missing file is
+/// one clear error instead of a worker-thread exception.
+std::string resolve_trace_in(const std::string& workload,
+                             const std::string& scheme) {
+  const std::string shared = trace_in_dir() + "/" + workload + ".ecctrace";
+  const std::string per_cell =
+      trace_in_dir() + "/" + workload + "_" + scheme + ".ecctrace";
+  for (const auto& p : {shared, per_cell}) {
+    if (std::ifstream(p).good()) return p;
+  }
+  std::fprintf(stderr,
+               "%s: no trace for %s/%s under --trace-in (tried %s and %s)\n",
+               g_bench_name.c_str(), workload.c_str(), scheme.c_str(),
+               shared.c_str(), per_cell.c_str());
+  std::exit(1);
+}
+
+/// The 16 paper workloads with their calibrated parameters, for --help
+/// discovery and for naming traces to record.
+void print_workloads() {
+  std::printf("%-14s %-4s %-5s %-7s %-9s %s\n", "workload", "bin", "mt",
+              "apki", "write%", "footprint");
+  for (const auto& w : trace::paper_workloads()) {
+    std::printf("%-14s %-4d %-5s %-7.1f %-9.0f %llu MB\n", w.name.c_str(),
+                w.bin, w.multithreaded ? "yes" : "no", w.apki,
+                w.write_fraction * 100.0,
+                static_cast<unsigned long long>(w.footprint_bytes >> 20));
+  }
+}
 
 /// Default epoch length: small enough that even a CI-sized smoke run
 /// (~tens of thousands of memory cycles) records several epochs.
@@ -248,12 +301,24 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
   const auto& workloads = trace::paper_workloads();
   std::vector<runner::Cell> cells;
   cells.reserve(workloads.size() * schemes.size());
+  const tracefile::CapturePoint point = trace_point();
   for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
-    const std::uint64_t seed = runner::substream_seed(kRootSeed, wi);
+    const std::uint64_t seed = trace::paper_sweep_seed(wi);
     for (const auto id : schemes) {
       runner::Cell cell;
       cell.scheme = ecc::to_string(id);
       cell.workload = workloads[wi].name;
+      // Trace paths resolve on this thread (clear errors); recordings get
+      // per-cell names so concurrent cells never share a file.
+      std::string trace_in;
+      if (!trace_in_dir().empty()) {
+        trace_in = resolve_trace_in(cell.workload, cell.scheme);
+      }
+      std::string trace_out;
+      if (!trace_out_dir().empty()) {
+        trace_out = trace_out_dir() + "/" + cell.workload + "_" +
+                    cell.scheme + ".ecctrace";
+      }
       stats::Collector* col = nullptr;
       if (stats_cfg.enabled) {
         collectors.push_back(std::make_unique<stats::Collector>(stats_cfg));
@@ -264,12 +329,29 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
                           cell.scheme + ".trace.json");
         }
       }
-      cell.work = [id, scale, seed, name = workloads[wi].name, col] {
+      cell.work = [id, scale, seed, name = workloads[wi].name, col,
+                   trace_in, trace_out, point] {
         sim::SimOptions opts;
         opts.target_instructions = target_instructions();
         opts.seed = seed;
         opts.stats = col;
-        return sim::run_experiment(id, scale, name, opts);
+        opts.trace_in = trace_in;
+        opts.trace_out = trace_out;
+        opts.trace_point = point;
+        if (trace_in.empty() && trace_out.empty()) {
+          return sim::run_experiment(id, scale, name, opts);
+        }
+        // Trace I/O can fail mid-run (exhausted/corrupt trace, full disk);
+        // the runner's workers do not catch exceptions, so fail the whole
+        // bench here with a readable message instead of std::terminate.
+        try {
+          return sim::run_experiment(id, scale, name, opts);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "\n%s: trace failure in cell %s/%s: %s\n",
+                       g_bench_name.c_str(), name.c_str(),
+                       ecc::to_string(id).c_str(), e.what());
+          std::exit(1);
+        }
       };
       cells.push_back(std::move(cell));
     }
@@ -342,10 +424,23 @@ void init(int argc, char** argv) {
       setenv("ECCSIM_MC_TARGET_REL_CI", v, 1);
     } else if ((v = flag_value(i, arg, "--mc-checkpoint")) != nullptr) {
       setenv("ECCSIM_MC_CHECKPOINT", v, 1);
+    } else if ((v = flag_value(i, arg, "--trace-in")) != nullptr) {
+      setenv("ECCSIM_TRACE_IN", v, 1);
+    } else if ((v = flag_value(i, arg, "--trace-out")) != nullptr) {
+      setenv("ECCSIM_TRACE_OUT", v, 1);
+    } else if ((v = flag_value(i, arg, "--trace-point")) != nullptr) {
+      setenv("ECCSIM_TRACE_POINT", v, 1);
+      (void)trace_point();  // reject anything but pre/post immediately
+    } else if (arg == "--list-workloads") {
+      print_workloads();
+      std::exit(0);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--stats] [--stats-epoch=N] [--trace=DIR]\n"
-          "          [--smoke|--quick] [--mc-systems N] [--mc-chunk N]\n"
+          "          [--smoke|--quick] [--list-workloads]\n"
+          "          [--trace-in DIR] [--trace-out DIR] "
+          "[--trace-point pre|post]\n"
+          "          [--mc-systems N] [--mc-chunk N]\n"
           "          [--mc-target-rel-ci X] [--mc-checkpoint FILE]\n"
           "  --stats          enable the stats registry, epoch time series,\n"
           "                   results/<bench>.stats.json, and the profiler\n"
@@ -354,6 +449,18 @@ void init(int argc, char** argv) {
           "  --trace=DIR      Chrome trace-event file per sweep cell in DIR\n"
           "  --smoke          CI-sized run, outputs under .../smoke/\n"
           "  --quick          reduced-fidelity run\n"
+          "  --list-workloads print the 16 paper workloads (name, bin,\n"
+          "                   multithreaded, apki, write%%, footprint)\n"
+          "  --trace-in DIR   replay sweep stimulus from DIR's .ecctrace\n"
+          "                   files (<workload>.ecctrace, falling back to\n"
+          "                   <workload>_<scheme>.ecctrace); bypasses the\n"
+          "                   sweep CSV cache so the cells really replay\n"
+          "  --trace-out DIR  record each sweep cell's stimulus to\n"
+          "                   DIR/<workload>_<scheme>.ecctrace\n"
+          "  --trace-point P  capture point for --trace-out: 'pre' (pre-LLC\n"
+          "                   per-core stream, replayable; default) or\n"
+          "                   'post' (post-LLC DRAM requests, analysis "
+          "only)\n"
           "  --mc-systems N   Monte Carlo system budget (overrides scaling)\n"
           "  --mc-chunk N     MC systems per chunk (any value: results are\n"
           "                   bit-identical; affects early-stop/checkpoint\n"
@@ -364,8 +471,9 @@ void init(int argc, char** argv) {
           "                   skip them on rerun (kill-safe resume)\n"
           "Environment: ECCSIM_STATS, STATS_EPOCH, STATS_TRACE,\n"
           "STATS_TRACE_LIMIT, ECCSIM_QUICK, ECCSIM_SMOKE, RUNNER_THREADS,\n"
-          "ECCSIM_MC_SYSTEMS, ECCSIM_MC_CHUNK, ECCSIM_MC_TARGET_REL_CI,\n"
-          "ECCSIM_MC_CHECKPOINT\n",
+          "ECCSIM_SWEEP_CACHE, ECCSIM_CHECK, ECCSIM_TRACE_IN,\n"
+          "ECCSIM_TRACE_OUT, ECCSIM_TRACE_POINT, ECCSIM_MC_SYSTEMS,\n"
+          "ECCSIM_MC_CHUNK, ECCSIM_MC_TARGET_REL_CI, ECCSIM_MC_CHECKPOINT\n",
           g_bench_name.c_str());
       std::exit(0);
     } else {
@@ -463,8 +571,11 @@ const std::vector<sim::RunResult>& sweep(ecc::SystemScale scale) {
 
   const std::string path = cache_path(scale);
   // A cache hit would skip simulation entirely, so --stats (which only
-  // observes live runs) forces a fresh sweep.
-  if (cache_enabled() && !stats_config().enabled) {
+  // observes live runs) and trace record/replay (which must actually run
+  // the cells) force a fresh sweep.  The CSV is still written afterwards:
+  // under --trace-in it doubles as the replay-vs-live comparison artifact.
+  const bool tracing = !trace_in_dir().empty() || !trace_out_dir().empty();
+  if (cache_enabled() && !stats_config().enabled && !tracing) {
     auto rows = load_cache(path);
     // 16 workloads x 8 schemes expected.
     if (rows.size() == trace::paper_workloads().size() *

@@ -48,10 +48,17 @@ namespace eccsim::bench {
 ///   --mc-chunk N         MC systems per chunk (results identical for any)
 ///   --mc-target-rel-ci X stop MC runs once the relative 95% CI reaches X
 ///   --mc-checkpoint F    chunk-granular MC checkpoint/resume file
-/// The --mc-* flags accept both `--flag value` and `--flag=value` and map
-/// to ECCSIM_MC_SYSTEMS / ECCSIM_MC_CHUNK / ECCSIM_MC_TARGET_REL_CI /
-/// ECCSIM_MC_CHECKPOINT.  Call first in main(); unknown flags exit with
-/// usage.
+///   --list-workloads  print the 16 paper workloads and exit
+///   --trace-in DIR    replay sweep stimulus from DIR's .ecctrace files
+///                     (= ECCSIM_TRACE_IN; bypasses the sweep CSV cache)
+///   --trace-out DIR   record each cell's stimulus to
+///                     DIR/<workload>_<scheme>.ecctrace (= ECCSIM_TRACE_OUT)
+///   --trace-point P   'pre' (replayable per-core stream, default) or
+///                     'post' (DRAM request stream) (= ECCSIM_TRACE_POINT)
+/// Valued flags accept both `--flag value` and `--flag=value` and map to
+/// their ECCSIM_* environment equivalents.  Call first in main(); unknown
+/// flags exit with code 2 and point at --help, which documents every flag
+/// and environment variable.
 void init(int argc, char** argv);
 
 /// Monte Carlo engine knobs assembled from the --mc-* flags (or their

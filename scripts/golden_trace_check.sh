@@ -1,0 +1,54 @@
+#!/bin/sh
+# Golden-trace determinism check for the .ecctrace subsystem.
+#
+# Usage: ./scripts/golden_trace_check.sh [path-to-tracetool]
+#   default tracetool: build/tools/tracetool
+#
+# The traces under traces/golden/ are committed artifacts recorded with
+#   tracetool record --workload <wl> --cores 2 --ops-per-core 512
+# (paper sweep seed, see docs/TRACES.md).  This script re-records them
+# from scratch and requires the fresh bytes to match the committed
+# SHA-256 sums exactly -- any drift in the generators, the seed
+# derivation, or the file format shows up as a hash mismatch.  It also
+# runs `tracetool validate` over the committed files so a corrupted
+# checkout is caught even if regeneration is skipped upstream.
+set -e
+
+tool=${1:-build/tools/tracetool}
+cd "$(dirname "$0")/.."
+if [ ! -x "$tool" ]; then
+  echo "usage: $0 [path-to-tracetool]  ($tool: not an executable)" >&2
+  exit 2
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "[golden-trace] validating committed traces" >&2
+for f in traces/golden/*.ecctrace; do
+  "$tool" validate "$f" >/dev/null
+done
+
+echo "[golden-trace] checking committed bytes against SHA256SUMS" >&2
+(cd traces/golden && sha256sum -c SHA256SUMS) >&2
+
+echo "[golden-trace] re-recording from the synthetic generators" >&2
+for f in traces/golden/*.ecctrace; do
+  wl=$(basename "$f" .ecctrace)
+  "$tool" record --workload "$wl" --cores 2 --ops-per-core 512 \
+    --out "$work/" >/dev/null
+done
+
+cp traces/golden/SHA256SUMS "$work/SHA256SUMS"
+if ! (cd "$work" && sha256sum -c SHA256SUMS) >&2; then
+  echo "[golden-trace] FAIL: regenerated traces differ from traces/golden/" >&2
+  echo "[golden-trace] (generator/seed/format drift -- see docs/TRACES.md)" >&2
+  exit 1
+fi
+for f in traces/golden/*.ecctrace; do
+  if ! cmp -s "$f" "$work/$(basename "$f")"; then
+    echo "[golden-trace] FAIL: $(basename "$f") bytes differ" >&2
+    exit 1
+  fi
+done
+echo "[golden-trace] OK (recording is byte-reproducible)" >&2

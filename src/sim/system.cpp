@@ -50,12 +50,8 @@ SystemSim::SystemSim(const ecc::SchemeDesc& scheme,
   if (scheme.line_bytes % 64 != 0) {
     throw std::invalid_argument("SystemSim: line size must be 64B multiple");
   }
-  cores_.reserve(cpu_.cores);
-  for (unsigned c = 0; c < cpu_.cores; ++c) {
-    cores_.push_back(Core{
-        trace::CoreGenerator(workload, c, cpu_.cores, opts.seed), 0, 0,
-        std::nullopt, 0});
-  }
+  cores_.resize(cpu_.cores);
+  build_source(workload);
   if (scheme.uses_ecc_parity) {
     const unsigned corr_bytes = static_cast<unsigned>(
         scheme.correction_ratio * scheme.line_bytes);
@@ -63,6 +59,53 @@ SystemSim::SystemSim(const ecc::SchemeDesc& scheme,
   }
   attach_protocol_checkers();
   attach_stats();
+}
+
+void SystemSim::build_source(const trace::WorkloadDesc& workload) {
+  if (!opts_.trace_in.empty()) {
+    auto replay = std::make_unique<tracefile::ReplaySource>(opts_.trace_in);
+    // The trace must have been recorded for this exact configuration: the
+    // workload name pins the calibrated descriptor (and thus the run's
+    // label) and the core count pins the per-core demultiplexing.
+    if (replay->workload().name != workload.name) {
+      throw tracefile::TraceError(
+          "ecctrace: " + opts_.trace_in + " records workload '" +
+          replay->workload().name + "' but the run asked for '" +
+          workload.name + "'");
+    }
+    if (replay->cores() != cpu_.cores) {
+      throw tracefile::TraceError(
+          "ecctrace: " + opts_.trace_in + " records " +
+          std::to_string(replay->cores()) + " cores but the run has " +
+          std::to_string(cpu_.cores));
+    }
+    replay_ = replay.get();
+    source_ = std::move(replay);
+  } else {
+    source_ = std::make_unique<trace::SyntheticSource>(workload, cpu_.cores,
+                                                       opts_.seed);
+  }
+  if (!opts_.trace_out.empty()) {
+    if (opts_.trace_point == tracefile::CapturePoint::kPreLlc) {
+      auto rec = std::make_unique<tracefile::RecordingSource>(
+          std::move(source_), opts_.trace_out, opts_.seed);
+      recording_ = rec.get();
+      source_ = std::move(rec);
+    } else {
+      tracefile::TraceMeta meta;
+      meta.point = tracefile::CapturePoint::kPostLlc;
+      meta.cores = cpu_.cores;
+      meta.seed = opts_.seed;
+      meta.workload = workload.name;
+      post_writer_ =
+          std::make_unique<tracefile::TraceWriter>(opts_.trace_out, meta);
+    }
+  }
+}
+
+void SystemSim::close_trace_outputs() {
+  if (recording_ != nullptr) recording_->writer().close();
+  if (post_writer_) post_writer_->close();
 }
 
 void SystemSim::attach_protocol_checkers() {
@@ -95,6 +138,30 @@ void SystemSim::attach_stats() {
   });
   if (scheme_.uses_ecc_parity) {
     slow_path_hits_ = reg.counter("eccparity.fig6_slow_path_hits");
+  }
+  if (recording_ != nullptr) {
+    reg.gauge("tracefile.record.ops", [this](std::uint64_t) {
+      return static_cast<double>(recording_->writer().counters().ops);
+    });
+    reg.gauge("tracefile.record.file_bytes", [this](std::uint64_t) {
+      return static_cast<double>(recording_->writer().counters().file_bytes);
+    });
+  }
+  if (post_writer_) {
+    reg.gauge("tracefile.post.ops", [this](std::uint64_t) {
+      return static_cast<double>(post_writer_->counters().ops);
+    });
+    reg.gauge("tracefile.post.file_bytes", [this](std::uint64_t) {
+      return static_cast<double>(post_writer_->counters().file_bytes);
+    });
+  }
+  if (replay_ != nullptr) {
+    reg.gauge("tracefile.replay.ops", [this](std::uint64_t) {
+      return static_cast<double>(replay_->ops_replayed());
+    });
+    reg.gauge("tracefile.replay.chunks_decoded", [this](std::uint64_t) {
+      return static_cast<double>(replay_->reader_counters().chunks_decoded);
+    });
   }
   if (tracer_) {
     // Tracks 0..channels-1 are the DRAM channels; the next one carries the
@@ -197,6 +264,13 @@ dram::DramAddress SystemSim::ecc_line_address(std::uint64_t key) const {
 
 void SystemSim::send_or_queue(const PendingReq& req) {
   if (warmup_) return;  // cache state only; no memory traffic
+  if (post_writer_) {
+    // Post-LLC capture point: every request the memory system will see, in
+    // issue order (drain_pending retries bypass this path, so a queued
+    // request is recorded exactly once).
+    post_writer_->append(tracefile::PostOp{mem_.cycle(), req.addr,
+                                           req.is_write, req.line_class});
+  }
   if (!mem_.enqueue_addr(req.addr, req.is_write, req.line_class, req.id)) {
     pending_.push_back(req);
   }
@@ -338,7 +412,7 @@ void SystemSim::core_cycle(unsigned c) {
   unsigned budget = cpu_.width;
   while (budget > 0) {
     if (!core.waiting_op) {
-      const trace::MemOp next = core.gen.next();
+      const trace::MemOp next = source_->next(c);
       core.gap_remaining = next.gap;
       core.waiting_op = next;
     }
@@ -406,7 +480,7 @@ RunResult SystemSim::run() {
     // and request_read drop everything while warmup_ is set.
     for (std::uint64_t i = 0; i < warm_ops_per_core; ++i) {
       for (unsigned c = 0; c < cpu_.cores; ++c) {
-        (void)execute_op(c, cores_[c].gen.next());
+        (void)execute_op(c, source_->next(c));
       }
     }
     llc_.reset_stats();
@@ -461,7 +535,7 @@ RunResult SystemSim::run() {
 
   RunResult result;
   result.scheme = scheme_.name;
-  result.workload = cores_[0].gen.desc().name;
+  result.workload = source_->workload().name;
   for (const auto& c : cores_) result.instructions += c.committed;
   result.mem_cycles = run_cycles;
   result.mem = mem_.finalize();
@@ -498,6 +572,10 @@ RunResult SystemSim::run() {
       (static_cast<double>(scheme_.channels) *
        static_cast<double>(run_cycles));
   result.avg_read_latency = result.mem.avg_read_latency;
+  // Seal trace outputs before the final stats sample so the tracefile.*
+  // gauges capture footer-inclusive sizes (and a failed flush aborts the
+  // run instead of leaving a silently truncated file).
+  close_trace_outputs();
   finalize_stats();
   return result;
 }

@@ -36,7 +36,10 @@
 #include "eccparity/layout.hpp"
 #include "stats/stats.hpp"
 #include "stats/trace.hpp"
+#include "trace/source.hpp"
 #include "trace/workload.hpp"
+#include "tracefile/replay.hpp"
+#include "tracefile/writer.hpp"
 
 namespace eccsim::sim {
 
@@ -80,6 +83,23 @@ struct SimOptions {
   /// enabled by setting the ECCSIM_CHECK environment variable to a value
   /// other than "0", which is how CI audits the benchmark sweeps.
   bool protocol_check = false;
+  /// Replay stimulus from a recorded pre-LLC .ecctrace file instead of the
+  /// synthetic generators.  The trace's workload name and core count must
+  /// match this run's configuration (TraceError otherwise), and the trace
+  /// must hold enough ops to cover warmup plus the measured phase -- a
+  /// short trace throws rather than diverging.  With a trace recorded at
+  /// the workload's canonical seed (trace::paper_sweep_seed), replay is
+  /// bit-identical to live generation.
+  std::string trace_in;
+  /// Record this run's stimulus to an .ecctrace file at `trace_point`.
+  /// Observation only: results are bit-identical with or without it.
+  /// May be combined with trace_in (re-record a replay).
+  std::string trace_out;
+  /// Capture point for trace_out: kPreLlc records the per-core MemOp
+  /// stream (replayable); kPostLlc records the DRAM request stream after
+  /// LLC filtering and ECC expansion (analysis only -- it depends on the
+  /// scheme and cannot be fed back in).
+  tracefile::CapturePoint trace_point = tracefile::CapturePoint::kPreLlc;
   /// Observability sink for this run (optional).  When set and enabled,
   /// the simulator registers every component's stats in the collector's
   /// registry under stable dotted paths, samples the registry every
@@ -120,10 +140,12 @@ struct RunResult {
 class SystemSim {
  public:
   /// Builds the system: DRAM channels per `scheme`'s organization, an
-  /// 8 MB LLC (plus the optional dedicated ECC cache), one generator per
-  /// core for `workload`, and the ECC Parity layout when the scheme uses
-  /// it.  Throws std::invalid_argument if the scheme's memory-line size is
-  /// not a 64B multiple.
+  /// 8 MB LLC (plus the optional dedicated ECC cache), the stimulus source
+  /// for `workload` (synthetic generators, or .ecctrace replay/recording
+  /// per SimOptions), and the ECC Parity layout when the scheme uses it.
+  /// Throws std::invalid_argument if the scheme's memory-line size is not
+  /// a 64B multiple, tracefile::TraceError on a bad or mismatched
+  /// trace_in.
   SystemSim(const ecc::SchemeDesc& scheme, const trace::WorkloadDesc& workload,
             const CpuConfig& cpu = CpuConfig{},
             const SimOptions& opts = SimOptions{});
@@ -138,7 +160,6 @@ class SystemSim {
 
  private:
   struct Core {
-    trace::CoreGenerator gen;
     std::uint64_t committed = 0;
     std::uint32_t gap_remaining = 0;
     std::optional<trace::MemOp> waiting_op;  ///< op blocked on MLP/queue
@@ -197,6 +218,15 @@ class SystemSim {
   /// SimOptions::protocol_check or ECCSIM_CHECK asks for them.
   void attach_protocol_checkers();
 
+  /// Builds the stimulus source per SimOptions: synthetic generators or
+  /// .ecctrace replay, optionally tee'd through a pre-LLC recorder, plus
+  /// the post-LLC writer when asked for.  Throws tracefile::TraceError on
+  /// a bad/mismatched trace_in.
+  void build_source(const trace::WorkloadDesc& workload);
+  /// Flushes footers on any open trace writers; throws TraceError on I/O
+  /// failure so a truncated recording cannot pass silently.
+  void close_trace_outputs();
+
   ecc::SchemeDesc scheme_;
   CpuConfig cpu_;
   SimOptions opts_;
@@ -208,6 +238,17 @@ class SystemSim {
   cache::Cache llc_;
   std::unique_ptr<cache::Cache> dedicated_ecc_cache_;
   std::vector<Core> cores_;
+  /// Stimulus: one MemOp stream per core (synthetic, replay, or recording
+  /// tee).  Owned here; never null after construction.
+  std::unique_ptr<trace::TraceSource> source_;
+  /// Non-owning view of source_ when it is a pre-LLC recording tee (for
+  /// counters and the end-of-run close).
+  tracefile::RecordingSource* recording_ = nullptr;
+  /// Non-owning view of source_ when it is a replay (for counters).
+  tracefile::ReplaySource* replay_ = nullptr;
+  /// Post-LLC capture: every DRAM request send_or_queue accepts after
+  /// warmup, in issue order.
+  std::unique_ptr<tracefile::TraceWriter> post_writer_;
   std::optional<eccparity::ParityLayout> parity_layout_;
 
   std::uint32_t lines64_per_memline_;

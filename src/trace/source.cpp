@@ -1,0 +1,18 @@
+#include "trace/source.hpp"
+
+namespace eccsim::trace {
+
+SyntheticSource::SyntheticSource(const WorkloadDesc& desc, unsigned cores,
+                                 std::uint64_t seed)
+    : desc_(desc), seed_(seed) {
+  gens_.reserve(cores);
+  for (unsigned c = 0; c < cores; ++c) {
+    gens_.emplace_back(desc, c, cores, seed);
+  }
+}
+
+std::string SyntheticSource::describe() const {
+  return "synthetic " + desc_.name + " seed=" + std::to_string(seed_);
+}
+
+}  // namespace eccsim::trace

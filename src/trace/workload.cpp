@@ -59,10 +59,27 @@ const std::vector<WorkloadDesc>& paper_workloads() {
 }
 
 const WorkloadDesc& workload_by_name(const std::string& name) {
-  for (const auto& w : paper_workloads()) {
-    if (w.name == name) return w;
+  return paper_workloads()[workload_index(name)];
+}
+
+std::size_t workload_index(const std::string& name) {
+  const auto& all = paper_workloads();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].name == name) return i;
   }
   throw std::out_of_range("unknown workload: " + name);
+}
+
+std::uint64_t paper_sweep_seed(std::size_t index) {
+  // Mirrors runner::substream_seed(1, index); duplicated here so the
+  // trace layer does not depend on the runner (tests pin the equality).
+  constexpr std::uint64_t kPaperRootSeed = 1;
+  SplitMix64 sm(kPaperRootSeed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return sm.next();
+}
+
+std::uint64_t paper_sweep_seed(const std::string& name) {
+  return paper_sweep_seed(workload_index(name));
 }
 
 CoreGenerator::CoreGenerator(const WorkloadDesc& desc, unsigned core,

@@ -55,6 +55,18 @@ const std::vector<WorkloadDesc>& paper_workloads();
 /// Looks a workload up by name; throws std::out_of_range if unknown.
 const WorkloadDesc& workload_by_name(const std::string& name);
 
+/// Index of a workload in paper_workloads(); throws std::out_of_range if
+/// unknown.
+std::size_t workload_index(const std::string& name);
+
+/// The canonical stimulus seed of workload `index` in the paper sweeps:
+/// substream `index` of root seed 1, exactly what bench_common's
+/// (workload x scheme) fan-out uses (runner::substream_seed agreement is
+/// locked by a test).  A trace recorded with this seed -- tracetool's
+/// default -- replays bit-identically into the committed sweeps.
+std::uint64_t paper_sweep_seed(std::size_t index);
+std::uint64_t paper_sweep_seed(const std::string& name);
+
 /// Per-core generator: an infinite deterministic stream of MemOps.
 class CoreGenerator {
  public:

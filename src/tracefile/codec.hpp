@@ -1,0 +1,48 @@
+// Chunk payload codec: delta+varint encoding of pre-/post-LLC records.
+//
+// Chunks are self-contained: all delta state (per-core previous line,
+// previous cycle, previous packed address) resets at each chunk boundary,
+// which is what makes TraceReader::seek_chunk() possible and confines a
+// corrupted chunk's blast radius to itself.
+//
+// Pre-LLC record  -> varint(core<<1 | is_write), varint(gap),
+//                    zigzag-varint(line delta vs this core's previous line)
+// Post-LLC record -> varint(line_class<<1 | is_write),
+//                    zigzag-varint(cycle delta),
+//                    zigzag-varint(packed-address delta), where
+//                    packed = row<<40 | bank<<32 | rank<<24 | channel<<16
+//                             | col  (field widths checked at encode time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tracefile/format.hpp"
+
+namespace eccsim::tracefile {
+
+/// Encodes one chunk of pre-LLC records.
+std::string encode_pre_chunk(const std::vector<PreOp>& ops);
+
+/// Encodes one chunk of post-LLC records.
+std::string encode_post_chunk(const std::vector<PostOp>& ops);
+
+/// Decodes exactly `op_count` pre-LLC records from a chunk payload into
+/// `out` (cleared first).  Throws TraceError if the payload is malformed
+/// or its length disagrees with `op_count`.
+void decode_pre_chunk(const unsigned char* data, std::size_t size,
+                      std::uint32_t op_count, std::vector<PreOp>& out);
+
+/// Post-LLC counterpart of decode_pre_chunk.
+void decode_post_chunk(const unsigned char* data, std::size_t size,
+                       std::uint32_t op_count, std::vector<PostOp>& out);
+
+/// Packs a DramAddress into the codec's 64-bit form; throws TraceError if
+/// any field exceeds its width (col 16 bits, channel/rank/bank 8 bits
+/// each, row 24 bits -- comfortably above any Table II geometry).
+std::uint64_t pack_address(const dram::DramAddress& addr);
+
+/// Inverse of pack_address.
+dram::DramAddress unpack_address(std::uint64_t packed);
+
+}  // namespace eccsim::tracefile

@@ -1,0 +1,86 @@
+// The .ecctrace on-disk format: a versioned, chunked, CRC-protected
+// container for memory-request traces (docs/TRACES.md).
+//
+// Two capture points exist (Sec. IV methodology):
+//   - pre-LLC  (kPreLlc):  the per-core MemOp stream the workload
+//     generators feed the simulator.  This is the replayable point: a
+//     pre-LLC trace recorded with a workload's sweep seed substitutes
+//     bit-identically for live synthetic generation.
+//   - post-LLC (kPostLlc): the DRAM request stream behind the LLC --
+//     demand misses, writebacks, and ECC-maintenance traffic with their
+//     physical (channel, rank, bank, row, col) addresses.  An analysis
+//     artifact (tracetool info/stats/head), not a simulator input.
+//
+// Layout (all integers little-endian):
+//
+//   header   magic "ECCTRACE" (8B) | u32 version | u32 point | u32 cores
+//            | u64 seed | u32 name_len | name bytes | u32 header_crc
+//   chunk*   u32 kChunkMarker | u32 payload_bytes | u32 op_count
+//            | u32 payload_crc | payload
+//   footer   u32 kEndMarker | u32 chunk_count | u64 total_ops
+//            | u32 footer_crc
+//
+// Every chunk's payload is independently delta+varint encoded (delta
+// state resets at each chunk boundary), so chunks are seekable and a
+// flipped bit corrupts -- and is detected in -- exactly one chunk.  A
+// file without its footer is truncated; both conditions surface as
+// TraceError, never as a crash or silent misparse.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dram/request.hpp"
+#include "trace/workload.hpp"
+
+namespace eccsim::tracefile {
+
+inline constexpr char kMagic[8] = {'E', 'C', 'C', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kChunkMarker = 0x4b4e4843u;  // "CHNK"
+inline constexpr std::uint32_t kEndMarker = 0x21444e45u;    // "END!"
+/// Writer default: ops buffered per chunk before encode+flush.
+inline constexpr std::size_t kDefaultOpsPerChunk = 4096;
+/// Sanity bound on workload-name length and chunk payload size; anything
+/// larger is rejected as corruption rather than allocated.
+inline constexpr std::uint32_t kMaxNameBytes = 4096;
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 26;
+
+/// Where in the pipeline the stream was captured.
+enum class CapturePoint : std::uint32_t { kPreLlc = 0, kPostLlc = 1 };
+
+std::string to_string(CapturePoint point);
+
+/// Any structural problem with a trace file: bad magic/version, truncation,
+/// CRC mismatch, overlong varint, op-count drift, replay exhaustion.
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// File-level metadata carried in the header.  `seed`, `cores`, and
+/// `workload` identify the stimulus so replay can refuse a mismatched
+/// simulation configuration instead of silently diverging.
+struct TraceMeta {
+  CapturePoint point = CapturePoint::kPreLlc;
+  std::uint32_t cores = 8;
+  std::uint64_t seed = 0;
+  std::string workload;
+};
+
+/// One pre-LLC record: which core issued the op, and the op itself.
+struct PreOp {
+  std::uint32_t core = 0;
+  trace::MemOp op;
+};
+
+/// One post-LLC record: a DRAM request at its enqueue cycle.
+struct PostOp {
+  std::uint64_t cycle = 0;
+  dram::DramAddress addr;
+  bool is_write = false;
+  dram::LineClass line_class = dram::LineClass::kData;
+};
+
+}  // namespace eccsim::tracefile

@@ -1,0 +1,99 @@
+#include "tracefile/replay.hpp"
+
+namespace eccsim::tracefile {
+
+namespace {
+
+TraceMeta recording_meta(const trace::TraceSource& inner,
+                         std::uint64_t seed) {
+  TraceMeta meta;
+  meta.point = CapturePoint::kPreLlc;
+  meta.cores = inner.cores();
+  meta.seed = seed;
+  meta.workload = inner.workload().name;
+  return meta;
+}
+
+}  // namespace
+
+ReplaySource::ReplaySource(const std::string& path) : reader_(path) {
+  if (reader_.meta().point != CapturePoint::kPreLlc) {
+    throw TraceError("ecctrace: only pre-LLC traces are replayable (" +
+                     path + " is " + to_string(reader_.meta().point) + ")");
+  }
+  if (reader_.meta().cores == 0) {
+    throw TraceError("ecctrace: zero cores in trace header of " + path);
+  }
+  desc_ = trace::workload_by_name(reader_.meta().workload);
+  queues_.resize(reader_.meta().cores);
+}
+
+trace::MemOp ReplaySource::next(unsigned core) {
+  if (core >= queues_.size()) {
+    throw TraceError("ecctrace: replay asked for core " +
+                     std::to_string(core) + " but trace has " +
+                     std::to_string(queues_.size()) + " cores");
+  }
+  while (queues_[core].empty()) {
+    PreOp rec;
+    if (!reader_.next(rec)) {
+      throw TraceError(
+          "ecctrace: trace exhausted replaying " + reader_.path() +
+          " (core " + std::to_string(core) + " after " +
+          std::to_string(replayed_) +
+          " ops); re-record with more --ops-per-core");
+    }
+    if (rec.core >= queues_.size()) {
+      throw TraceError("ecctrace: record for core " +
+                       std::to_string(rec.core) +
+                       " exceeds the header's core count");
+    }
+    queues_[rec.core].push_back(rec.op);
+  }
+  const trace::MemOp op = queues_[core].front();
+  queues_[core].pop_front();
+  ++replayed_;
+  return op;
+}
+
+std::string ReplaySource::describe() const {
+  return "replay of " + reader_.path() + " (" + desc_.name + ", " +
+         std::to_string(reader_.total_ops()) + " ops)";
+}
+
+RecordingSource::RecordingSource(std::unique_ptr<trace::TraceSource> inner,
+                                 const std::string& path, std::uint64_t seed,
+                                 std::size_t ops_per_chunk)
+    : inner_(std::move(inner)),
+      writer_(path, recording_meta(*inner_, seed), ops_per_chunk) {}
+
+std::string RecordingSource::describe() const {
+  return inner_->describe() + " -> recording " + writer_.path();
+}
+
+std::uint64_t record_workload_trace(const trace::WorkloadDesc& desc,
+                                    unsigned cores,
+                                    std::uint64_t ops_per_core,
+                                    std::uint64_t seed,
+                                    const std::string& path) {
+  TraceMeta meta;
+  meta.point = CapturePoint::kPreLlc;
+  meta.cores = cores;
+  meta.seed = seed;
+  meta.workload = desc.name;
+  TraceWriter writer(path, meta);
+  std::vector<trace::CoreGenerator> gens;
+  gens.reserve(cores);
+  for (unsigned c = 0; c < cores; ++c) {
+    gens.emplace_back(desc, c, cores, seed);
+  }
+  for (std::uint64_t i = 0; i < ops_per_core; ++i) {
+    for (unsigned c = 0; c < cores; ++c) {
+      writer.append(gens[c].next(), c);
+    }
+  }
+  writer.close();
+  return writer.counters().ops;
+}
+
+}  // namespace eccsim::tracefile

@@ -1,0 +1,122 @@
+#include "tracefile/writer.hpp"
+
+#include <filesystem>
+
+#include "tracefile/codec.hpp"
+#include "tracefile/crc32.hpp"
+#include "tracefile/varint.hpp"
+
+namespace eccsim::tracefile {
+
+namespace {
+
+std::string encode_header(const TraceMeta& meta) {
+  std::string bytes(kMagic, sizeof kMagic);
+  put_u32(bytes, kFormatVersion);
+  put_u32(bytes, static_cast<std::uint32_t>(meta.point));
+  put_u32(bytes, meta.cores);
+  put_u64(bytes, meta.seed);
+  if (meta.workload.size() > kMaxNameBytes) {
+    throw TraceError("ecctrace: workload name too long");
+  }
+  put_u32(bytes, static_cast<std::uint32_t>(meta.workload.size()));
+  bytes += meta.workload;
+  put_u32(bytes, crc32(bytes.data(), bytes.size()));
+  return bytes;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta,
+                         std::size_t ops_per_chunk)
+    : path_(path), meta_(meta),
+      ops_per_chunk_(ops_per_chunk == 0 ? 1 : ops_per_chunk) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw TraceError("ecctrace: cannot create " + path);
+  }
+  write_bytes(encode_header(meta_));
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (const TraceError&) {
+    // Unwinding: the truncated file is detectable by any reader.
+  }
+}
+
+void TraceWriter::append(const trace::MemOp& op, std::uint32_t core) {
+  if (meta_.point != CapturePoint::kPreLlc) {
+    throw TraceError("ecctrace: pre-LLC record appended to a " +
+                     to_string(meta_.point) + " trace");
+  }
+  pre_buf_.push_back(PreOp{core, op});
+  if (pre_buf_.size() >= ops_per_chunk_) flush_chunk();
+}
+
+void TraceWriter::append(const PostOp& op) {
+  if (meta_.point != CapturePoint::kPostLlc) {
+    throw TraceError("ecctrace: post-LLC record appended to a " +
+                     to_string(meta_.point) + " trace");
+  }
+  post_buf_.push_back(op);
+  if (post_buf_.size() >= ops_per_chunk_) flush_chunk();
+}
+
+void TraceWriter::flush_chunk() {
+  const std::size_t n =
+      meta_.point == CapturePoint::kPreLlc ? pre_buf_.size()
+                                           : post_buf_.size();
+  if (n == 0) return;
+  const std::string payload = meta_.point == CapturePoint::kPreLlc
+                                  ? encode_pre_chunk(pre_buf_)
+                                  : encode_post_chunk(post_buf_);
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  put_u32(frame, kChunkMarker);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, static_cast<std::uint32_t>(n));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame += payload;
+  write_bytes(frame);
+  counters_.ops += n;
+  counters_.chunks += 1;
+  counters_.payload_bytes += payload.size();
+  pre_buf_.clear();
+  post_buf_.clear();
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  flush_chunk();
+  std::string footer;
+  put_u32(footer, kEndMarker);
+  put_u32(footer, static_cast<std::uint32_t>(counters_.chunks));
+  put_u64(footer, counters_.ops);
+  put_u32(footer, crc32(footer.data(), footer.size()));
+  write_bytes(footer);
+  out_.flush();
+  closed_ = true;
+  if (!out_) {
+    throw TraceError("ecctrace: I/O error writing " + path_);
+  }
+  out_.close();
+}
+
+void TraceWriter::write_bytes(const std::string& bytes) {
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out_) {
+    throw TraceError("ecctrace: I/O error writing " + path_);
+  }
+  counters_.file_bytes += bytes.size();
+}
+
+std::string to_string(CapturePoint point) {
+  return point == CapturePoint::kPreLlc ? "pre-llc" : "post-llc";
+}
+
+}  // namespace eccsim::tracefile

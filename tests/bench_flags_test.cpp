@@ -1,0 +1,64 @@
+// Flag handling of the shared bench front-end: unknown flags must be
+// rejected with exit code 2 and a pointer at --help, --help and
+// --list-workloads must succeed, and --trace-point must validate its
+// value.  Death tests: init() terminates the process on these paths.
+#include <gtest/gtest.h>
+
+#include "bench_common.hpp"
+
+namespace eccsim::bench {
+namespace {
+
+int run_init(std::vector<std::string> args) {
+  args.insert(args.begin(), "bench_flags_test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  init(static_cast<int>(argv.size()), argv.data());
+  return 0;
+}
+
+using BenchFlagsDeathTest = ::testing::Test;
+
+TEST(BenchFlagsDeathTest, UnknownFlagExitsWithUsageError) {
+  EXPECT_EXIT(run_init({"--bogus"}), ::testing::ExitedWithCode(2),
+              "unknown flag '--bogus'.*--help");
+}
+
+TEST(BenchFlagsDeathTest, UnknownFlagAfterValidFlagStillRejected) {
+  EXPECT_EXIT(run_init({"--smoke", "--no-such-thing"}),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(BenchFlagsDeathTest, HelpExitsCleanly) {
+  EXPECT_EXIT(run_init({"--help"}), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchFlagsDeathTest, ListWorkloadsExitsCleanly) {
+  EXPECT_EXIT(run_init({"--list-workloads"}), ::testing::ExitedWithCode(0),
+              "");
+}
+
+TEST(BenchFlagsDeathTest, MissingFlagValueRejected) {
+  EXPECT_EXIT(run_init({"--mc-systems"}), ::testing::ExitedWithCode(2),
+              "requires a value");
+}
+
+TEST(BenchFlagsDeathTest, BadTracePointRejected) {
+  EXPECT_EXIT(run_init({"--trace-point", "sideways"}),
+              ::testing::ExitedWithCode(2), "'pre' or 'post'");
+}
+
+TEST(BenchFlagsDeathTest, TracePointValuesAccepted) {
+  // Valid trace points parse without touching the rejection paths; init()
+  // returns normally, so the child must run to completion (exit 0).
+  EXPECT_EXIT(
+      {
+        run_init({"--trace-point", "post"});
+        std::exit(0);
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace eccsim::bench

@@ -1,0 +1,446 @@
+// Tests for the .ecctrace container: codec round-trips, framing and CRC
+// rejection of corrupted files, seekability, replay equivalence, and the
+// seed contract that makes recorded traces interchangeable with the
+// paper-sweep stimulus.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "trace/source.hpp"
+#include "trace/workload.hpp"
+#include "tracefile/codec.hpp"
+#include "tracefile/crc32.hpp"
+#include "tracefile/reader.hpp"
+#include "tracefile/replay.hpp"
+#include "tracefile/writer.hpp"
+
+namespace eccsim::tracefile {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<PreOp> random_pre_ops(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<PreOp> ops(n);
+  for (auto& rec : ops) {
+    rec.core = static_cast<std::uint32_t>(rng() % 8);
+    rec.op.line = rng();  // full 64-bit range: the codec must wrap deltas
+    rec.op.gap = static_cast<std::uint32_t>(rng() % 10'000);
+    rec.op.is_write = (rng() & 1) != 0;
+  }
+  return ops;
+}
+
+std::vector<PostOp> random_post_ops(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<PostOp> ops(n);
+  std::uint64_t cycle = 0;
+  for (auto& rec : ops) {
+    cycle += rng() % 50;
+    rec.cycle = cycle;
+    rec.addr.channel = static_cast<std::uint32_t>(rng() % 256);
+    rec.addr.rank = static_cast<std::uint32_t>(rng() % 256);
+    rec.addr.bank = static_cast<std::uint32_t>(rng() % 256);
+    rec.addr.row = rng() % (1ULL << 24);
+    rec.addr.col = static_cast<std::uint32_t>(rng() % (1ULL << 16));
+    rec.is_write = (rng() & 1) != 0;
+    rec.line_class = static_cast<dram::LineClass>(rng() % 4);
+  }
+  return ops;
+}
+
+void expect_pre_eq(const PreOp& a, const PreOp& b) {
+  EXPECT_EQ(a.core, b.core);
+  EXPECT_EQ(a.op.line, b.op.line);
+  EXPECT_EQ(a.op.gap, b.op.gap);
+  EXPECT_EQ(a.op.is_write, b.op.is_write);
+}
+
+TEST(Codec, PreChunkRoundTrip) {
+  const auto ops = random_pre_ops(1000, 1);
+  const std::string payload = encode_pre_chunk(ops);
+  std::vector<PreOp> back;
+  decode_pre_chunk(reinterpret_cast<const unsigned char*>(payload.data()),
+                   payload.size(), static_cast<std::uint32_t>(ops.size()),
+                   back);
+  ASSERT_EQ(back.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) expect_pre_eq(ops[i], back[i]);
+}
+
+TEST(Codec, PostChunkRoundTrip) {
+  const auto ops = random_post_ops(1000, 2);
+  const std::string payload = encode_post_chunk(ops);
+  std::vector<PostOp> back;
+  decode_post_chunk(reinterpret_cast<const unsigned char*>(payload.data()),
+                    payload.size(), static_cast<std::uint32_t>(ops.size()),
+                    back);
+  ASSERT_EQ(back.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].cycle, back[i].cycle);
+    EXPECT_EQ(ops[i].addr, back[i].addr);
+    EXPECT_EQ(ops[i].is_write, back[i].is_write);
+    EXPECT_EQ(ops[i].line_class, back[i].line_class);
+  }
+}
+
+TEST(Codec, PackAddressRejectsOutOfRange) {
+  dram::DramAddress a;
+  a.col = 1u << 16;
+  EXPECT_THROW(pack_address(a), TraceError);
+  a = {};
+  a.row = 1ULL << 24;
+  EXPECT_THROW(pack_address(a), TraceError);
+  a = {};
+  a.channel = 256;
+  EXPECT_THROW(pack_address(a), TraceError);
+  a = {};
+  a.channel = 3;
+  a.rank = 1;
+  a.bank = 7;
+  a.row = (1ULL << 24) - 1;
+  a.col = 65535;
+  EXPECT_EQ(unpack_address(pack_address(a)), a);
+}
+
+TEST(Codec, DecodeRejectsTrailingBytes) {
+  const auto ops = random_pre_ops(10, 3);
+  std::string payload = encode_pre_chunk(ops);
+  payload.push_back('\0');
+  std::vector<PreOp> back;
+  EXPECT_THROW(
+      decode_pre_chunk(reinterpret_cast<const unsigned char*>(payload.data()),
+                       payload.size(), 10, back),
+      TraceError);
+}
+
+// Property: for a spread of chunk sizes (including 1 and exact-boundary
+// counts), writing any op sequence and reading it back is the identity.
+TEST(WriterReader, RoundTripAcrossChunkSizes) {
+  for (const std::size_t ops_per_chunk : {std::size_t{1}, std::size_t{7},
+                                          std::size_t{256}}) {
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{256}, std::size_t{1000}}) {
+      const std::string path = temp_path("rt.ecctrace");
+      const auto ops = random_pre_ops(count, count * 31 + ops_per_chunk);
+      TraceMeta meta;
+      meta.point = CapturePoint::kPreLlc;
+      meta.cores = 8;
+      meta.seed = 42;
+      meta.workload = "mcf";
+      {
+        TraceWriter writer(path, meta, ops_per_chunk);
+        for (const auto& rec : ops) writer.append(rec.op, rec.core);
+        writer.close();
+      }
+      TraceReader reader(path);
+      EXPECT_EQ(reader.meta().workload, "mcf");
+      EXPECT_EQ(reader.meta().cores, 8u);
+      EXPECT_EQ(reader.meta().seed, 42u);
+      EXPECT_EQ(reader.total_ops(), count);
+      PreOp rec;
+      std::size_t i = 0;
+      while (reader.next(rec)) {
+        ASSERT_LT(i, ops.size());
+        expect_pre_eq(ops[i], rec);
+        ++i;
+      }
+      EXPECT_EQ(i, count);
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(WriterReader, PostRoundTrip) {
+  const std::string path = temp_path("post.ecctrace");
+  const auto ops = random_post_ops(777, 4);
+  TraceMeta meta;
+  meta.point = CapturePoint::kPostLlc;
+  meta.cores = 8;
+  meta.workload = "lbm";
+  {
+    TraceWriter writer(path, meta, 100);
+    for (const auto& rec : ops) writer.append(rec);
+    writer.close();
+  }
+  TraceReader reader(path);
+  PostOp rec;
+  std::size_t i = 0;
+  while (reader.next(rec)) {
+    ASSERT_LT(i, ops.size());
+    EXPECT_EQ(ops[i].cycle, rec.cycle);
+    EXPECT_EQ(ops[i].addr, rec.addr);
+    ++i;
+  }
+  EXPECT_EQ(i, ops.size());
+  std::remove(path.c_str());
+}
+
+TEST(WriterReader, PointMismatchThrows) {
+  const std::string path = temp_path("mismatch.ecctrace");
+  TraceMeta meta;
+  meta.point = CapturePoint::kPreLlc;
+  meta.workload = "mcf";
+  TraceWriter writer(path, meta);
+  EXPECT_THROW(writer.append(PostOp{}), TraceError);
+  writer.close();
+  std::remove(path.c_str());
+}
+
+TEST(WriterReader, SeekChunkIsExact) {
+  const std::string path = temp_path("seek.ecctrace");
+  const auto ops = random_pre_ops(1000, 5);
+  TraceMeta meta;
+  meta.point = CapturePoint::kPreLlc;
+  meta.workload = "mcf";
+  {
+    TraceWriter writer(path, meta, 64);
+    for (const auto& rec : ops) writer.append(rec.op, rec.core);
+    writer.close();
+  }
+  TraceReader reader(path);
+  ASSERT_EQ(reader.chunk_count(), (1000 + 63) / 64);
+  // Jump to an arbitrary chunk: the stream must continue exactly at op
+  // index chunk*64 (per-chunk delta reset makes this possible).
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{7},
+                                  std::size_t{15}}) {
+    reader.seek_chunk(chunk);
+    PreOp rec;
+    ASSERT_TRUE(reader.next(rec));
+    expect_pre_eq(ops[chunk * 64], rec);
+  }
+  reader.seek_chunk(reader.chunk_count());  // end-of-trace position
+  PreOp rec;
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_THROW(reader.seek_chunk(reader.chunk_count() + 1), TraceError);
+  std::remove(path.c_str());
+}
+
+// Any truncation must be rejected -- either at open (broken framing) or at
+// the latest by validate_file's deep scan.  Never a crash or a silent
+// short read.
+TEST(Corruption, TruncationDetectedAtEveryLength) {
+  const std::string path = temp_path("trunc_src.ecctrace");
+  const auto ops = random_pre_ops(2000, 6);
+  TraceMeta meta;
+  meta.point = CapturePoint::kPreLlc;
+  meta.workload = "mcf";
+  {
+    TraceWriter writer(path, meta, 128);
+    for (const auto& rec : ops) writer.append(rec.op, rec.core);
+    writer.close();
+  }
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 100u);
+  const std::string tpath = temp_path("trunc.ecctrace");
+  for (std::size_t len = 0; len < bytes.size(); len += 97) {
+    write_file(tpath, bytes.substr(0, len));
+    const ValidateResult res = validate_file(tpath);
+    EXPECT_FALSE(res.ok) << "truncation to " << len << " bytes accepted";
+    EXPECT_FALSE(res.error.empty());
+  }
+  std::remove(path.c_str());
+  std::remove(tpath.c_str());
+}
+
+// Single-bit-flip fuzz: every header, framing, payload, and footer byte is
+// covered by a CRC or a structural check, so any flip must be detected.
+TEST(Corruption, BitFlipsDetectedEverywhere) {
+  const std::string path = temp_path("flip_src.ecctrace");
+  const auto ops = random_pre_ops(500, 7);
+  TraceMeta meta;
+  meta.point = CapturePoint::kPreLlc;
+  meta.workload = "streamcluster";
+  {
+    TraceWriter writer(path, meta, 64);
+    for (const auto& rec : ops) writer.append(rec.op, rec.core);
+    writer.close();
+  }
+  const std::string bytes = read_file(path);
+  const std::string fpath = temp_path("flip.ecctrace");
+  std::mt19937_64 rng(8);
+  for (std::size_t trial = 0; trial < 400; ++trial) {
+    const std::size_t pos = rng() % bytes.size();
+    const int bit = static_cast<int>(rng() % 8);
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << bit));
+    write_file(fpath, corrupted);
+    const ValidateResult res = validate_file(fpath);
+    EXPECT_FALSE(res.ok) << "flip of bit " << bit << " at byte " << pos
+                         << " accepted";
+  }
+  std::remove(path.c_str());
+  std::remove(fpath.c_str());
+}
+
+TEST(Corruption, BadMagicRejected) {
+  const std::string path = temp_path("magic.ecctrace");
+  write_file(path, "NOTTRACExxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+  const ValidateResult res = validate_file(path);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("magic"), std::string::npos);
+  EXPECT_THROW(TraceReader reader(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(Corruption, UnsupportedVersionRejected) {
+  const std::string path = temp_path("version_src.ecctrace");
+  TraceMeta meta;
+  meta.point = CapturePoint::kPreLlc;
+  meta.workload = "mcf";
+  {
+    TraceWriter writer(path, meta);
+    writer.close();
+  }
+  std::string bytes = read_file(path);
+  // Patch version (u32 at offset 8, after the magic) to 99 and re-sign the
+  // header so only the version check can reject it.
+  bytes[8] = 99;
+  const std::size_t name_len = meta.workload.size();
+  const std::size_t crc_off = 8 + 4 + 4 + 4 + 8 + 4 + name_len;
+  const std::uint32_t crc = crc32(bytes.data(), crc_off);
+  for (int i = 0; i < 4; ++i) {
+    bytes[crc_off + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  const std::string vpath = temp_path("version.ecctrace");
+  write_file(vpath, bytes);
+  const ValidateResult res = validate_file(vpath);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("version"), std::string::npos);
+  std::remove(path.c_str());
+  std::remove(vpath.c_str());
+}
+
+// The replay source must reproduce the generators exactly, independent of
+// the order cores are polled in (the per-core demux guarantee).
+TEST(Replay, MatchesSyntheticInAnyPullOrder) {
+  const std::string path = temp_path("replay.ecctrace");
+  const auto& desc = trace::workload_by_name("canneal");
+  const std::uint64_t seed = trace::paper_sweep_seed("canneal");
+  record_workload_trace(desc, 4, 500, seed, path);
+
+  ReplaySource replay(path);
+  trace::SyntheticSource synth(desc, 4, seed);
+  EXPECT_EQ(replay.cores(), 4u);
+  EXPECT_EQ(replay.workload().name, "canneal");
+  // Scrambled, uneven pull order across cores.
+  std::mt19937_64 rng(9);
+  std::vector<std::uint64_t> pulled(4, 0);
+  for (int i = 0; i < 1500; ++i) {
+    const unsigned core = static_cast<unsigned>(rng() % 4);
+    if (pulled[core] >= 500) continue;
+    const trace::MemOp a = replay.next(core);
+    const trace::MemOp b = synth.next(core);
+    EXPECT_EQ(a.line, b.line);
+    EXPECT_EQ(a.gap, b.gap);
+    EXPECT_EQ(a.is_write, b.is_write);
+    ++pulled[core];
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Replay, ExhaustedTraceThrows) {
+  const std::string path = temp_path("short.ecctrace");
+  const auto& desc = trace::workload_by_name("mcf");
+  record_workload_trace(desc, 2, 10, 1, path);
+  ReplaySource replay(path);
+  for (int i = 0; i < 10; ++i) (void)replay.next(0);
+  EXPECT_THROW(replay.next(0), TraceError);
+  EXPECT_EQ(replay.ops_replayed(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(Replay, RejectsPostLlcTrace) {
+  const std::string path = temp_path("postonly.ecctrace");
+  TraceMeta meta;
+  meta.point = CapturePoint::kPostLlc;
+  meta.workload = "mcf";
+  {
+    TraceWriter writer(path, meta);
+    writer.append(PostOp{});
+    writer.close();
+  }
+  EXPECT_THROW(ReplaySource replay(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(Replay, RejectsCoreBeyondHeader) {
+  const std::string path = temp_path("coverflow.ecctrace");
+  record_workload_trace(trace::workload_by_name("mcf"), 2, 5, 1, path);
+  ReplaySource replay(path);
+  EXPECT_THROW(replay.next(2), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(Recording, TeePassesThroughAndProducesReplayableFile) {
+  const std::string path = temp_path("tee.ecctrace");
+  const auto& desc = trace::workload_by_name("lbm");
+  RecordingSource rec(std::make_unique<trace::SyntheticSource>(desc, 2, 11),
+                      path, 11);
+  trace::SyntheticSource reference(desc, 2, 11);
+  std::vector<trace::MemOp> seen;
+  for (int i = 0; i < 300; ++i) {
+    const unsigned core = static_cast<unsigned>(i % 2);
+    const trace::MemOp a = rec.next(core);
+    const trace::MemOp b = reference.next(core);
+    EXPECT_EQ(a.line, b.line);  // the tee must not perturb the stream
+    seen.push_back(a);
+  }
+  rec.writer().close();
+  ReplaySource replay(path);
+  for (int i = 0; i < 300; ++i) {
+    const trace::MemOp a = replay.next(static_cast<unsigned>(i % 2));
+    EXPECT_EQ(a.line, seen[static_cast<std::size_t>(i)].line);
+  }
+  std::remove(path.c_str());
+}
+
+// The contract that makes traces interchangeable with live sweep stimulus:
+// trace::paper_sweep_seed must equal the runner substream the bench sweep
+// assigns to each workload (root seed 1, substream = workload index).
+TEST(Seeds, PaperSweepSeedMatchesRunnerSubstream) {
+  const auto& workloads = trace::paper_workloads();
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    EXPECT_EQ(trace::paper_sweep_seed(wi), runner::substream_seed(1, wi))
+        << "workload index " << wi;
+    EXPECT_EQ(trace::paper_sweep_seed(workloads[wi].name),
+              trace::paper_sweep_seed(wi));
+  }
+}
+
+TEST(Source, SyntheticMatchesRawGenerators) {
+  const auto& desc = trace::workload_by_name("milc");
+  trace::SyntheticSource source(desc, 8, 77);
+  std::vector<trace::CoreGenerator> gens;
+  for (unsigned c = 0; c < 8; ++c) gens.emplace_back(desc, c, 8, 77);
+  for (int i = 0; i < 500; ++i) {
+    for (unsigned c = 0; c < 8; ++c) {
+      const trace::MemOp a = source.next(c);
+      const trace::MemOp b = gens[c].next();
+      EXPECT_EQ(a.line, b.line);
+      EXPECT_EQ(a.gap, b.gap);
+      EXPECT_EQ(a.is_write, b.is_write);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eccsim::tracefile

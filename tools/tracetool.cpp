@@ -1,0 +1,301 @@
+// tracetool: record, inspect, and validate .ecctrace stimulus files.
+//
+//   tracetool record --workload mcf --out traces/   record one workload
+//   tracetool record --all --out traces/            record all 16
+//   tracetool info FILE                             header + size summary
+//   tracetool validate FILE...                      deep-scan every chunk;
+//                                                   exit 1 on any failure
+//   tracetool stats FILE                            stream statistics
+//   tracetool head FILE [-n N]                      first N records
+//   tracetool list-workloads                        the recordable names
+//
+// Records are generator-direct (no simulation), so recording all 16
+// workloads at the default 60000 ops/core takes well under a second.  The
+// default seed is the workload's canonical paper-sweep seed, which is what
+// makes the file replay bit-identically under `fig10_* --trace-in`; the
+// default depth covers SystemSim's LLC warmup (49152 ops/core) plus the
+// measured phase at full fidelity with headroom.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/workload.hpp"
+#include "tracefile/reader.hpp"
+#include "tracefile/replay.hpp"
+
+namespace {
+
+using namespace eccsim;
+
+int usage(FILE* out, int code) {
+  std::fprintf(out,
+               "usage: tracetool <command> [options]\n"
+               "  record --workload NAME | --all [options]\n"
+               "      --out PATH       output file (or directory with --all\n"
+               "                       or a trailing '/'); default traces/\n"
+               "      --ops-per-core N ops recorded per core (default 60000,\n"
+               "                       enough for warmup + a full-fidelity\n"
+               "                       measured phase)\n"
+               "      --cores N        cores in the recording (default 8)\n"
+               "      --seed S         stimulus seed (default: the\n"
+               "                       workload's canonical sweep seed)\n"
+               "  info FILE            print header metadata and sizes\n"
+               "  validate FILE...     verify framing and every CRC; exit 1\n"
+               "                       on the first bad file\n"
+               "  stats FILE           read/write mix, footprint, gaps\n"
+               "  head FILE [-n N]     print the first N records (default "
+               "10)\n"
+               "  list-workloads       names recordable with --workload\n");
+  return code;
+}
+
+/// `--flag value` / `--flag=value`, advancing i; nullptr if arg != flag.
+const char* flag_value(int argc, char** argv, int& i, const char* name) {
+  const std::string arg = argv[i];
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) == 0) return argv[i] + prefix.size();
+  if (arg != name) return nullptr;
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "tracetool: %s requires a value\n", name);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+void print_workloads() {
+  std::printf("%-14s %-4s %-5s %-7s %-9s %s\n", "workload", "bin", "mt",
+              "apki", "write%", "footprint");
+  for (const auto& w : trace::paper_workloads()) {
+    std::printf("%-14s %-4d %-5s %-7.1f %-9.0f %llu MB\n", w.name.c_str(),
+                w.bin, w.multithreaded ? "yes" : "no", w.apki,
+                w.write_fraction * 100.0,
+                static_cast<unsigned long long>(w.footprint_bytes >> 20));
+  }
+}
+
+int cmd_record(int argc, char** argv) {
+  std::string workload;
+  bool all = false;
+  std::string out = "traces/";
+  std::uint64_t ops_per_core = 60'000;
+  unsigned cores = 8;
+  std::optional<std::uint64_t> seed;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if ((v = flag_value(argc, argv, i, "--workload")) != nullptr) {
+      workload = v;
+    } else if (arg == "--all") {
+      all = true;
+    } else if ((v = flag_value(argc, argv, i, "--out")) != nullptr) {
+      out = v;
+    } else if ((v = flag_value(argc, argv, i, "--ops-per-core")) != nullptr) {
+      ops_per_core = std::strtoull(v, nullptr, 10);
+    } else if ((v = flag_value(argc, argv, i, "--cores")) != nullptr) {
+      cores = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if ((v = flag_value(argc, argv, i, "--seed")) != nullptr) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "tracetool record: unknown flag '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (all == !workload.empty() || cores == 0 || ops_per_core == 0) {
+    std::fprintf(stderr, "tracetool record: need exactly one of --workload "
+                 "NAME or --all, and nonzero --cores/--ops-per-core\n");
+    return 2;
+  }
+
+  std::vector<const trace::WorkloadDesc*> targets;
+  if (all) {
+    for (const auto& w : trace::paper_workloads()) targets.push_back(&w);
+  } else {
+    targets.push_back(&trace::workload_by_name(workload));
+  }
+  const bool out_is_dir = all || out.empty() || out.back() == '/';
+  for (const trace::WorkloadDesc* w : targets) {
+    std::string path = out;
+    if (out_is_dir) {
+      if (!path.empty() && path.back() != '/') path += '/';
+      path += w->name + ".ecctrace";
+    }
+    const std::uint64_t s =
+        seed ? *seed : trace::paper_sweep_seed(w->name);
+    const std::uint64_t ops = tracefile::record_workload_trace(
+        *w, cores, ops_per_core, s, path);
+    const auto res = tracefile::validate_file(path);
+    if (!res.ok) {
+      std::fprintf(stderr, "tracetool record: %s failed post-write "
+                   "validation: %s\n", path.c_str(), res.error.c_str());
+      return 1;
+    }
+    std::printf("recorded %-14s -> %s (%" PRIu64 " ops, %" PRIu64
+                " bytes, seed %" PRIu64 ")\n",
+                w->name.c_str(), path.c_str(), ops, res.file_bytes, s);
+  }
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  tracefile::TraceReader reader(path);
+  const tracefile::TraceMeta& m = reader.meta();
+  std::printf("file:        %s\n", path.c_str());
+  std::printf("version:     %u\n", tracefile::kFormatVersion);
+  std::printf("point:       %s\n", tracefile::to_string(m.point).c_str());
+  std::printf("workload:    %s\n", m.workload.c_str());
+  std::printf("cores:       %u\n", m.cores);
+  std::printf("seed:        %" PRIu64 "\n", m.seed);
+  std::printf("ops:         %" PRIu64 "\n", reader.total_ops());
+  std::printf("chunks:      %zu\n", reader.chunk_count());
+  std::printf("file bytes:  %" PRIu64 "\n", reader.file_bytes());
+  if (reader.total_ops() > 0) {
+    std::printf("bytes/op:    %.2f\n",
+                static_cast<double>(reader.file_bytes()) /
+                    static_cast<double>(reader.total_ops()));
+  }
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc < 3) return usage(stderr, 2);
+  int rc = 0;
+  for (int i = 2; i < argc; ++i) {
+    const auto res = tracefile::validate_file(argv[i]);
+    if (res.ok) {
+      std::printf("%s: OK (%s, %" PRIu64 " ops, %" PRIu64 " chunks, %"
+                  PRIu64 " bytes)\n",
+                  argv[i], tracefile::to_string(res.meta.point).c_str(),
+                  res.ops, res.chunks, res.file_bytes);
+    } else {
+      std::fprintf(stderr, "%s: FAILED: %s\n", argv[i], res.error.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+int cmd_stats(const std::string& path) {
+  tracefile::TraceReader reader(path);
+  const tracefile::TraceMeta& m = reader.meta();
+  std::printf("%s: %s, workload %s, %u cores\n", path.c_str(),
+              tracefile::to_string(m.point).c_str(), m.workload.c_str(),
+              m.cores);
+  if (m.point == tracefile::CapturePoint::kPreLlc) {
+    std::uint64_t ops = 0, writes = 0, gap_sum = 0;
+    std::unordered_set<std::uint64_t> lines;
+    std::vector<std::uint64_t> per_core(m.cores, 0);
+    tracefile::PreOp rec;
+    while (reader.next(rec)) {
+      ++ops;
+      if (rec.op.is_write) ++writes;
+      gap_sum += rec.op.gap;
+      lines.insert(rec.op.line);
+      ++per_core[rec.core];
+    }
+    std::printf("ops:            %" PRIu64 "\n", ops);
+    std::printf("writes:         %" PRIu64 " (%.1f%%)\n", writes,
+                ops ? 100.0 * static_cast<double>(writes) /
+                          static_cast<double>(ops)
+                    : 0.0);
+    std::printf("unique lines:   %zu (%.1f MB touched)\n", lines.size(),
+                static_cast<double>(lines.size()) * 64.0 / (1024 * 1024));
+    std::printf("mean gap:       %.2f instructions\n",
+                ops ? static_cast<double>(gap_sum) / static_cast<double>(ops)
+                    : 0.0);
+    for (unsigned c = 0; c < m.cores; ++c) {
+      std::printf("core %-2u ops:    %" PRIu64 "\n", c, per_core[c]);
+    }
+  } else {
+    std::uint64_t ops = 0, writes = 0;
+    std::uint64_t by_class[4] = {0, 0, 0, 0};
+    std::uint64_t first_cycle = 0, last_cycle = 0;
+    tracefile::PostOp rec;
+    while (reader.next(rec)) {
+      if (ops == 0) first_cycle = rec.cycle;
+      last_cycle = rec.cycle;
+      ++ops;
+      if (rec.is_write) ++writes;
+      ++by_class[static_cast<unsigned>(rec.line_class) & 3u];
+    }
+    std::printf("requests:       %" PRIu64 "\n", ops);
+    std::printf("writes:         %" PRIu64 " (%.1f%%)\n", writes,
+                ops ? 100.0 * static_cast<double>(writes) /
+                          static_cast<double>(ops)
+                    : 0.0);
+    std::printf("data:           %" PRIu64 "\n", by_class[0]);
+    std::printf("ecc parity:     %" PRIu64 "\n", by_class[1]);
+    std::printf("ecc correction: %" PRIu64 "\n", by_class[2]);
+    std::printf("ecc other:      %" PRIu64 "\n", by_class[3]);
+    std::printf("cycle span:     %" PRIu64 "..%" PRIu64 "\n", first_cycle,
+                last_cycle);
+  }
+  return 0;
+}
+
+int cmd_head(int argc, char** argv) {
+  if (argc < 3) return usage(stderr, 2);
+  const std::string path = argv[2];
+  std::uint64_t n = 10;
+  for (int i = 3; i < argc; ++i) {
+    const char* v = flag_value(argc, argv, i, "-n");
+    if (v != nullptr) {
+      n = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "tracetool head: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  tracefile::TraceReader reader(path);
+  if (reader.meta().point == tracefile::CapturePoint::kPreLlc) {
+    std::printf("%-6s %-6s %-6s %-8s %s\n", "#", "core", "rw", "gap",
+                "line");
+    tracefile::PreOp rec;
+    for (std::uint64_t i = 0; i < n && reader.next(rec); ++i) {
+      std::printf("%-6" PRIu64 " %-6u %-6s %-8u %" PRIu64 "\n", i, rec.core,
+                  rec.op.is_write ? "W" : "R", rec.op.gap, rec.op.line);
+    }
+  } else {
+    std::printf("%-6s %-10s %-6s %-6s ch/rk/bk %-10s %s\n", "#", "cycle",
+                "rw", "class", "row", "col");
+    tracefile::PostOp rec;
+    for (std::uint64_t i = 0; i < n && reader.next(rec); ++i) {
+      std::printf("%-6" PRIu64 " %-10" PRIu64 " %-6s %-6u %u/%u/%u  %-10"
+                  PRIu64 " %u\n",
+                  i, rec.cycle, rec.is_write ? "W" : "R",
+                  static_cast<unsigned>(rec.line_class), rec.addr.channel,
+                  rec.addr.rank, rec.addr.bank, rec.addr.row, rec.addr.col);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(stderr, 2);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "record") return cmd_record(argc, argv);
+    if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
+    if (cmd == "validate") return cmd_validate(argc, argv);
+    if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
+    if (cmd == "head") return cmd_head(argc, argv);
+    if (cmd == "list-workloads") {
+      print_workloads();
+      return 0;
+    }
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      return usage(stdout, 0);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracetool %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage(stderr, 2);
+}
