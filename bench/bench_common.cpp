@@ -50,10 +50,24 @@ std::string fidelity_suffix() {
   return "";
 }
 
+/// Filename suffix for non-default DRAM generations ("_ddr4"/"_ddr5");
+/// empty for DDR3 so the paper-faithful artifact names are unchanged.
+std::string dram_suffix() {
+  const dram::Generation gen = dram_generation();
+  if (gen == dram::Generation::kDdr3) return "";
+  return "_" + dram::to_string(gen);
+}
+
 /// Output directory prefix: smoke runs are quarantined in a subdirectory
-/// so CI-sized numbers never overwrite the committed full-fidelity CSVs.
+/// so CI-sized numbers never overwrite the committed full-fidelity CSVs,
+/// and non-DDR3 generations get their own subdirectory for the same
+/// reason (the committed results are all DDR3).
 std::string out_dir(const std::string& base) {
-  return smoke_mode() ? base + "/smoke" : base;
+  std::string dir = base;
+  const dram::Generation gen = dram_generation();
+  if (gen != dram::Generation::kDdr3) dir += "/" + dram::to_string(gen);
+  if (smoke_mode()) dir += "/smoke";
+  return dir;
 }
 
 std::string scale_name(ecc::SystemScale scale) {
@@ -61,8 +75,8 @@ std::string scale_name(ecc::SystemScale scale) {
 }
 
 std::string cache_path(ecc::SystemScale scale) {
-  return "bench_results/sweep_" + scale_name(scale) + fidelity_suffix() +
-         ".csv";
+  return "bench_results/sweep_" + scale_name(scale) + dram_suffix() +
+         fidelity_suffix() + ".csv";
 }
 
 std::string g_bench_name = "bench";
@@ -302,6 +316,7 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
   std::vector<runner::Cell> cells;
   cells.reserve(workloads.size() * schemes.size());
   const tracefile::CapturePoint point = trace_point();
+  const dram::Generation gen = dram_generation();
   for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
     const std::uint64_t seed = trace::paper_sweep_seed(wi);
     for (const auto id : schemes) {
@@ -330,10 +345,11 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
         }
       }
       cell.work = [id, scale, seed, name = workloads[wi].name, col,
-                   trace_in, trace_out, point] {
+                   trace_in, trace_out, point, gen] {
         sim::SimOptions opts;
         opts.target_instructions = target_instructions();
         opts.seed = seed;
+        opts.dram_gen = gen;
         opts.stats = col;
         opts.trace_in = trace_in;
         opts.trace_out = trace_out;
@@ -416,6 +432,14 @@ void init(int argc, char** argv) {
       setenv("ECCSIM_SMOKE", "1", 1);
     } else if (arg == "--quick") {
       setenv("ECCSIM_QUICK", "1", 1);
+    } else if ((v = flag_value(i, arg, "--dram")) != nullptr) {
+      if (!dram::parse_generation(v)) {
+        std::fprintf(stderr,
+                     "%s: --dram must be ddr3, ddr4, or ddr5, got '%s'\n",
+                     g_bench_name.c_str(), v);
+        std::exit(2);
+      }
+      setenv("ECCSIM_DRAM", v, 1);
     } else if ((v = flag_value(i, arg, "--mc-systems")) != nullptr) {
       setenv("ECCSIM_MC_SYSTEMS", v, 1);
     } else if ((v = flag_value(i, arg, "--mc-chunk")) != nullptr) {
@@ -437,7 +461,7 @@ void init(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--stats] [--stats-epoch=N] [--trace=DIR]\n"
-          "          [--smoke|--quick] [--list-workloads]\n"
+          "          [--smoke|--quick] [--dram G] [--list-workloads]\n"
           "          [--trace-in DIR] [--trace-out DIR] "
           "[--trace-point pre|post]\n"
           "          [--mc-systems N] [--mc-chunk N]\n"
@@ -449,6 +473,10 @@ void init(int argc, char** argv) {
           "  --trace=DIR      Chrome trace-event file per sweep cell in DIR\n"
           "  --smoke          CI-sized run, outputs under .../smoke/\n"
           "  --quick          reduced-fidelity run\n"
+          "  --dram G         DRAM generation: ddr3 (default), ddr4, ddr5;\n"
+          "                   non-ddr3 sweep caches and outputs go to\n"
+          "                   generation-suffixed paths (sweep_*_ddr5.csv,\n"
+          "                   bench_results/ddr5/, results/ddr5/)\n"
           "  --list-workloads print the 16 paper workloads (name, bin,\n"
           "                   multithreaded, apki, write%%, footprint)\n"
           "  --trace-in DIR   replay sweep stimulus from DIR's .ecctrace\n"
@@ -470,10 +498,11 @@ void init(int argc, char** argv) {
           "  --mc-checkpoint FILE  append completed MC chunks to FILE and\n"
           "                   skip them on rerun (kill-safe resume)\n"
           "Environment: ECCSIM_STATS, STATS_EPOCH, STATS_TRACE,\n"
-          "STATS_TRACE_LIMIT, ECCSIM_QUICK, ECCSIM_SMOKE, RUNNER_THREADS,\n"
-          "ECCSIM_SWEEP_CACHE, ECCSIM_CHECK, ECCSIM_TRACE_IN,\n"
-          "ECCSIM_TRACE_OUT, ECCSIM_TRACE_POINT, ECCSIM_MC_SYSTEMS,\n"
-          "ECCSIM_MC_CHUNK, ECCSIM_MC_TARGET_REL_CI, ECCSIM_MC_CHECKPOINT\n",
+          "STATS_TRACE_LIMIT, ECCSIM_QUICK, ECCSIM_SMOKE, ECCSIM_DRAM,\n"
+          "RUNNER_THREADS, ECCSIM_SWEEP_CACHE, ECCSIM_CHECK,\n"
+          "ECCSIM_TRACE_IN, ECCSIM_TRACE_OUT, ECCSIM_TRACE_POINT,\n"
+          "ECCSIM_MC_SYSTEMS, ECCSIM_MC_CHUNK, ECCSIM_MC_TARGET_REL_CI,\n"
+          "ECCSIM_MC_CHECKPOINT\n",
           g_bench_name.c_str());
       std::exit(0);
     } else {
@@ -491,6 +520,17 @@ void init(int argc, char** argv) {
 }
 
 const std::string& bench_name() { return g_bench_name; }
+
+dram::Generation dram_generation() {
+  try {
+    return dram::generation_from_env().value_or(dram::Generation::kDdr3);
+  } catch (const std::exception& e) {
+    // A typo in ECCSIM_DRAM must not silently benchmark DDR3 (or abort
+    // with an unhandled exception from deep inside a path helper).
+    std::fprintf(stderr, "%s: %s\n", g_bench_name.c_str(), e.what());
+    std::exit(2);
+  }
+}
 
 stats::Collector* new_collector(const std::string& workload,
                                 const std::string& scheme) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "dram/spec.hpp"
 #include "ecc/scheme.hpp"
 #include "faults/mc_engine.hpp"
 #include "runner/runner.hpp"
@@ -44,6 +45,10 @@ namespace eccsim::bench {
 ///   --trace=DIR       Chrome trace-event files, one per sweep cell, in DIR
 ///                     (loadable in Perfetto / chrome://tracing)
 ///   --smoke / --quick CI-sized / reduced fidelity (= ECCSIM_SMOKE/QUICK=1)
+///   --dram G          DRAM generation: ddr3 (default), ddr4, or ddr5
+///                     (= ECCSIM_DRAM).  Non-DDR3 runs write their sweep
+///                     cache and outputs under generation-suffixed paths so
+///                     the committed DDR3 CSVs are never clobbered.
 ///   --mc-systems N       Monte Carlo system budget override
 ///   --mc-chunk N         MC systems per chunk (results identical for any)
 ///   --mc-target-rel-ci X stop MC runs once the relative 95% CI reaches X
@@ -73,6 +78,11 @@ unsigned mc_systems(unsigned full);
 
 /// Basename of the running binary ("bench" before init()).
 const std::string& bench_name();
+
+/// DRAM generation selected by --dram / ECCSIM_DRAM (DDR3 when unset).
+/// Exits with code 2 on an unrecognized ECCSIM_DRAM value so scripts fail
+/// loudly instead of silently benchmarking the wrong generation.
+dram::Generation dram_generation();
 
 /// Per-run stats collector for benches that build SystemSims directly
 /// (the standard sweep() wires its own): nullptr when stats are off, so

@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "common/units.hpp"
+#include "dram/spec.hpp"
 #include "faults/montecarlo.hpp"
 
 using namespace eccsim;
@@ -18,11 +19,19 @@ int main(int argc, char** argv) {
   eccsim::bench::init(argc, argv);
   const auto opts = bench::mc_options();
   const unsigned systems = bench::mc_systems(200);
+  // The rank organization (9 x8 chips) is fixed by the figure; the device
+  // generation sets banks per rank and, for DDR5, the on-die SECDED filter
+  // that attenuates the single-bit FIT rate the rank-level scheme sees.
+  const dram::Generation gen = bench::dram_generation();
+  const dram::DramSpec device = dram::spec_for(gen, dram::DeviceWidth::kX8);
   faults::SystemShape shape;  // 8 channels x 4 ranks x 9 chips (Fig. 2)
+  shape.banks_per_rank = device.banks;
   Table t({"FIT/chip", "analytic MTBF (days)", "simulated (days)",
            "gaps observed"});
   for (double fit : {10.0, 25.0, 44.0, 60.0, 80.0, 100.0}) {
-    const auto rates = faults::ddr3_vendor_average().scaled_to(fit);
+    const auto rates = faults::on_die_ecc_filter(
+        faults::ddr3_vendor_average().scaled_to(fit),
+        device.on_die_ecc.bit_fault_coverage);
     // Long observation horizon so even low rates yield many fault pairs.
     const auto res = faults::mtbf_between_channels(
         shape, rates, systems, 400 * units::kHoursPerYear, 2014, opts);
@@ -35,8 +44,9 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "Fig. 2 -- Mean time between faults in different channels\n"
-      "(8 channels, 4 ranks/channel, 9 chips/rank, %u systems/point)\n\n",
-      systems);
+      "(8 channels, 4 ranks/channel, 9 chips/rank, %u banks/rank [%s], "
+      "%u systems/point)\n\n",
+      shape.banks_per_rank, dram::to_string(gen).c_str(), systems);
   bench::emit("fig02_mtbf_channels", t);
   std::printf(
       "Paper check: at the 44 FIT/chip vendor average the MTBF is in the\n"

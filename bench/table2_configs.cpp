@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "dram/ddr3_params.hpp"
+#include "dram/spec.hpp"
 
 using namespace eccsim;
 

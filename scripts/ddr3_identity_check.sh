@@ -1,0 +1,35 @@
+#!/bin/sh
+# DDR3 bit-identity gate for the pluggable DRAM spec layer.
+#
+# Usage: ./scripts/ddr3_identity_check.sh [path-to-fig10_epi_quad]
+#   default binary: build/bench/fig10_epi_quad
+#
+# The committed bench_results/sweep_quad.csv and fig10_epi_quad.csv were
+# produced by the DDR3 model before device parameters moved behind the
+# DramSpec interface; the refactor's contract is that the default (DDR3)
+# path stays bit-identical.  This script deletes the sweep cache, reruns
+# the full-fidelity quad sweep, and requires `git diff` to come back
+# empty -- any divergence in timing, energy, scheduling, or the derived
+# figure table fails the gate.  Runs the full 16x8-cell sweep (~15 s on
+# a multicore CI runner; RUNNER_THREADS caps the fan-out).
+set -e
+
+bin=${1:-build/bench/fig10_epi_quad}
+cd "$(dirname "$0")/.."
+if [ ! -x "$bin" ]; then
+  echo "usage: $0 [path-to-fig10_epi_quad]  ($bin: not an executable)" >&2
+  exit 2
+fi
+
+echo "[ddr3-identity] re-simulating the full quad sweep" >&2
+rm -f bench_results/sweep_quad.csv
+env -u ECCSIM_SMOKE -u ECCSIM_QUICK -u ECCSIM_DRAM "$bin" >/dev/null
+
+if ! git diff --exit-code -- bench_results/sweep_quad.csv \
+    bench_results/fig10_epi_quad.csv >&2; then
+  echo "[ddr3-identity] FAIL: DDR3 results drifted from the committed CSVs" >&2
+  echo "[ddr3-identity] (the DramSpec refactor contract is bit-identity;" >&2
+  echo "[ddr3-identity]  see docs/DRAM_SPECS.md)" >&2
+  exit 1
+fi
+echo "[ddr3-identity] OK (DDR3 sweep is bit-identical to the committed CSVs)" >&2

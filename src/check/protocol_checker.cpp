@@ -35,7 +35,7 @@ std::string format_cmd(const dram::DramCommand& cmd) {
 
 }  // namespace
 
-Ddr3ProtocolChecker::Mode Ddr3ProtocolChecker::default_mode() {
+ProtocolChecker::Mode ProtocolChecker::default_mode() {
 #ifndef NDEBUG
   return Mode::kFatal;
 #else
@@ -43,14 +43,25 @@ Ddr3ProtocolChecker::Mode Ddr3ProtocolChecker::default_mode() {
 #endif
 }
 
-Ddr3ProtocolChecker::Ddr3ProtocolChecker(const dram::ChannelConfig& cfg,
-                                         std::string name, Mode mode)
+ProtocolChecker::ProtocolChecker(const dram::ChannelConfig& cfg,
+                                 std::string name, Mode mode)
     : cfg_(cfg), name_(std::move(name)), mode_(mode) {
   ranks_.resize(cfg_.ranks);
+  const std::uint32_t groups =
+      cfg_.device.bank_groups ? cfg_.device.bank_groups : 1;
+  const std::uint32_t sets = cfg_.device.refresh_sets();
+  for (RankState& r : ranks_) {
+    r.group_last_act.resize(groups, 0);
+    r.group_has_act.resize(groups, false);
+    r.group_last_cas.resize(groups, 0);
+    r.group_has_cas.resize(groups, false);
+    r.set_last_ref.resize(sets, 0);
+    r.set_has_ref.resize(sets, false);
+  }
   banks_.resize(static_cast<std::size_t>(cfg_.ranks) * cfg_.banks);
 }
 
-void Ddr3ProtocolChecker::on_command(const dram::DramCommand& cmd) {
+void ProtocolChecker::on_command(const dram::DramCommand& cmd) {
   ++commands_;
   if (cmd.rank >= cfg_.ranks ||
       (cmd.kind != dram::CmdKind::kRefresh && cmd.bank >= cfg_.banks)) {
@@ -76,7 +87,7 @@ void Ddr3ProtocolChecker::on_command(const dram::DramCommand& cmd) {
   if (history_.size() > kHistory) history_.pop_front();
 }
 
-void Ddr3ProtocolChecker::require_window(const char* rule,
+void ProtocolChecker::require_window(const char* rule,
                                          const dram::DramCommand& cmd,
                                          std::uint64_t actual,
                                          std::uint64_t floor,
@@ -88,7 +99,7 @@ void Ddr3ProtocolChecker::require_window(const char* rule,
   }
 }
 
-void Ddr3ProtocolChecker::check_activate(const dram::DramCommand& cmd) {
+void ProtocolChecker::check_activate(const dram::DramCommand& cmd) {
   const auto& t = cfg_.device.timing;
   RankState& rank = ranks_[cmd.rank];
   BankState& bank = banks_[cmd.rank * cfg_.banks + cmd.bank];
@@ -104,20 +115,29 @@ void Ddr3ProtocolChecker::check_activate(const dram::DramCommand& cmd) {
     require_window("tRC", cmd, cmd.cycle, bank.act_cycle + t.tRC,
                    "last ACT + tRC");
   }
+  const std::uint32_t group = cfg_.device.bank_group_of(cmd.bank);
   if (!rank.act_window.empty()) {
-    require_window("tRRD", cmd, cmd.cycle, rank.act_window.back() + t.tRRD,
-                   "last same-rank ACT + tRRD");
+    require_window("tRRD_S", cmd, cmd.cycle, rank.act_window.back() + t.tRRD_S,
+                   "last same-rank ACT + tRRD_S");
+  }
+  if (cfg_.device.bank_groups > 1 && rank.group_has_act[group]) {
+    require_window("tRRD_L", cmd, cmd.cycle,
+                   rank.group_last_act[group] + t.tRRD_L,
+                   "last same-group ACT + tRRD_L");
   }
   if (rank.act_window.size() >= 4) {
     require_window("tFAW", cmd, cmd.cycle,
                    rank.act_window[rank.act_window.size() - 4] + t.tFAW,
                    "4th-previous same-rank ACT + tFAW");
   }
-  if (rank.refs_seen > 0 && cmd.cycle >= rank.last_ref &&
-      cmd.cycle < rank.last_ref + t.tRFC) {
+  // Refresh blackout: rank-wide under kAllBank (one set), or only the
+  // refreshed bank set under kSameBank (DDR5 REFsb).
+  const std::uint32_t set = cfg_.device.refresh_set_of_bank(cmd.bank);
+  if (rank.set_has_ref[set] && cmd.cycle >= rank.set_last_ref[set] &&
+      cmd.cycle < rank.set_last_ref[set] + t.tRFC) {
     std::ostringstream os;
-    os << "ACT inside refresh blackout [" << rank.last_ref << ", "
-       << rank.last_ref + t.tRFC << ")";
+    os << "ACT inside refresh blackout [" << rank.set_last_ref[set] << ", "
+       << rank.set_last_ref[set] + t.tRFC << ")";
     fail("tRFC", cmd, os.str());
   }
 
@@ -130,11 +150,15 @@ void Ddr3ProtocolChecker::check_activate(const dram::DramCommand& cmd) {
   bank.cas_since_act = false;
   rank.act_window.push_back(cmd.cycle);
   if (rank.act_window.size() > 4) rank.act_window.pop_front();
+  rank.group_last_act[group] = cmd.cycle;
+  rank.group_has_act[group] = true;
 }
 
-void Ddr3ProtocolChecker::check_cas(const dram::DramCommand& cmd) {
+void ProtocolChecker::check_cas(const dram::DramCommand& cmd) {
   const auto& t = cfg_.device.timing;
+  RankState& rank = ranks_[cmd.rank];
   BankState& bank = banks_[cmd.rank * cfg_.banks + cmd.bank];
+  const std::uint32_t group = cfg_.device.bank_group_of(cmd.bank);
   const bool is_write = cmd.kind == dram::CmdKind::kWrite;
 
   if (!bank.open) {
@@ -150,8 +174,8 @@ void Ddr3ProtocolChecker::check_cas(const dram::DramCommand& cmd) {
                    "ACT + tRCD");
   }
   if (bank.has_cas) {
-    require_window("tCCD", cmd, cmd.cycle, bank.last_cas + t.tCCD,
-                   "last same-bank CAS + tCCD");
+    require_window("tCCD_L", cmd, cmd.cycle, bank.last_cas + t.tCCD_L,
+                   "last same-bank CAS + tCCD_L");
   }
 
   // CAS latency and burst-length consistency with the booked data window.
@@ -187,6 +211,25 @@ void Ddr3ProtocolChecker::check_cas(const dram::DramCommand& cmd) {
     require_window(rule, cmd, cmd.data_start, floor, since);
   }
 
+  // CAS-to-CAS spacing beyond the same bank: any two CAS on the channel
+  // must be tCCD_S apart, and two CAS within one bank group tCCD_L apart.
+  // (The channel books these gates monotonically at issue time, so the
+  // emission-order stream is monotone per scope and last-seen state
+  // suffices.)  Same-bank violations already fired above via the per-bank
+  // tCCD_L window, and for a flat device (bank_groups == 1) the group rule
+  // equals the channel rule, so each check is gated to avoid double
+  // counting one underlying violation.
+  if (cas_seen_) {
+    require_window("tCCD_S", cmd, cmd.cycle, last_cas_any_ + t.tCCD_S,
+                   "last same-channel CAS + tCCD_S");
+  }
+  if (cfg_.device.bank_groups > 1 && rank.group_has_cas[group] &&
+      (!bank.has_cas || rank.group_last_cas[group] != bank.last_cas)) {
+    require_window("tCCD_L", cmd, cmd.cycle,
+                   rank.group_last_cas[group] + t.tCCD_L,
+                   "last same-group CAS + tCCD_L");
+  }
+
   // Close-page policy conformance (Sec. IV-B): every access auto-precharges
   // and an activation serves exactly one CAS.
   if (cfg_.row_policy == dram::RowPolicy::kClosePage) {
@@ -211,9 +254,13 @@ void Ddr3ProtocolChecker::check_cas(const dram::DramCommand& cmd) {
   bus_data_end_ = cmd.data_end;
   bus_last_write_ = is_write;
   bus_used_ = true;
+  last_cas_any_ = cmd.cycle;
+  cas_seen_ = true;
+  rank.group_last_cas[group] = cmd.cycle;
+  rank.group_has_cas[group] = true;
 }
 
-void Ddr3ProtocolChecker::check_precharge(const dram::DramCommand& cmd) {
+void ProtocolChecker::check_precharge(const dram::DramCommand& cmd) {
   const auto& t = cfg_.device.timing;
   BankState& bank = banks_[cmd.rank * cfg_.banks + cmd.bank];
 
@@ -238,7 +285,7 @@ void Ddr3ProtocolChecker::check_precharge(const dram::DramCommand& cmd) {
   bank.has_pre = true;
 }
 
-void Ddr3ProtocolChecker::check_refresh(const dram::DramCommand& cmd) {
+void ProtocolChecker::check_refresh(const dram::DramCommand& cmd) {
   const auto& t = cfg_.device.timing;
   RankState& rank = ranks_[cmd.rank];
   // The model refreshes on a fixed schedule: REF k of a rank starts its
@@ -251,17 +298,41 @@ void Ddr3ProtocolChecker::check_refresh(const dram::DramCommand& cmd) {
        << "), got " << cmd.cycle;
     fail("tREFI", cmd, os.str());
   }
-  rank.last_ref = cmd.cycle;
+  // Under same-bank refresh (DDR5 REFsb) the command's `bank` field carries
+  // the refreshed bank set, which must rotate round-robin through the sets.
+  std::uint32_t set = 0;
+  if (cfg_.device.refresh == dram::RefreshPolicy::kSameBank) {
+    const std::uint32_t sets = cfg_.device.refresh_sets();
+    if (cmd.bank >= sets) {
+      std::ostringstream os;
+      os << "REFsb bank set " << cmd.bank << " out of range (device has "
+         << sets << " sets)";
+      fail("address-range", cmd, os.str());
+      ++rank.refs_seen;
+      return;
+    }
+    const std::uint32_t expected_set =
+        cfg_.device.refresh_set_of_ref(rank.refs_seen);
+    if (cmd.bank != expected_set) {
+      std::ostringstream os;
+      os << "REFsb must rotate round-robin: REF " << rank.refs_seen + 1
+         << " targets set " << cmd.bank << ", expected " << expected_set;
+      fail("REFsb-rotation", cmd, os.str());
+    }
+    set = cmd.bank;
+  }
+  rank.set_last_ref[set] = cmd.cycle;
+  rank.set_has_ref[set] = true;
   ++rank.refs_seen;
 }
 
-void Ddr3ProtocolChecker::fail(const char* rule,
+void ProtocolChecker::fail(const char* rule,
                                const dram::DramCommand& cmd,
                                std::string detail) {
   ++violation_count_;
   if (mode_ == Mode::kFatal) {
     std::fprintf(stderr,
-                 "[%s] DDR3 protocol violation (%s): %s\n  command: %s\n"
+                 "[%s] DRAM protocol violation (%s): %s\n  command: %s\n"
                  "%s",
                  name_.c_str(), rule, detail.c_str(),
                  format_cmd(cmd).c_str(), format_history().c_str());
@@ -272,7 +343,7 @@ void Ddr3ProtocolChecker::fail(const char* rule,
   }
 }
 
-std::string Ddr3ProtocolChecker::format_history() const {
+std::string ProtocolChecker::format_history() const {
   std::ostringstream os;
   os << "  last " << history_.size() << " commands:\n";
   for (const auto& cmd : history_) {
@@ -281,7 +352,7 @@ std::string Ddr3ProtocolChecker::format_history() const {
   return os.str();
 }
 
-std::string Ddr3ProtocolChecker::report() const {
+std::string ProtocolChecker::report() const {
   std::ostringstream os;
   os << name_ << ": " << violation_count_ << " violation(s) in " << commands_
      << " commands\n";

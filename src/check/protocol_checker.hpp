@@ -1,20 +1,29 @@
-// Independent DDR3 protocol checker (verification layer, no scheduler
+// Independent DRAM protocol checker (verification layer, no scheduler
 // logic shared).
 //
 // The checker observes the command stream one Channel emits through the
 // dram::CommandObserver hook and re-validates every command against the
-// raw timing table (dram::Ddr3Timing) and channel configuration alone:
+// raw timing table (dram::DramTiming) and channel configuration alone.
+// The rule set adapts to the configured DramSpec's generation: bank-group
+// constraints degenerate to the classic single constraints when
+// bank_groups == 1, and the refresh rules follow the spec's RefreshPolicy.
 //
 //   per bank   : state legality (ACT only to a closed bank, RD/WR only to
 //                the open row, PRE only to an open bank), tRCD, tRP, tRC,
-//                tRAS, tRTP, tWR, tCCD
-//   per rank   : tRRD, the four-activate window tFAW, refresh-interval
-//                conformance (REF every tREFI exactly), and the tRFC
-//                refresh blackout (no ACT inside it)
-//   per channel: data-bus occupancy (bursts never overlap) and
-//                write-to-read / read-to-write turnaround (tWTR / tRTW,
-//                measured from data end to next data start, which is the
-//                channel model's documented bus contract)
+//                tRAS, tRTP, tWR, tCCD_L
+//   per group  : tRRD_L between ACTs and tCCD_L between CAS commands in
+//                the same bank group of a rank (equal to the rank-wide
+//                rules for DDR3, tighter for DDR4/DDR5)
+//   per rank   : tRRD_S, the four-activate window tFAW, refresh-interval
+//                conformance (REF every tREFI exactly; under DDR5 REFsb
+//                also the bank-set rotation), and the tRFC refresh
+//                blackout (no ACT inside it -- rank-wide under kAllBank,
+//                per bank set under kSameBank)
+//   per channel: tCCD_S between any two CAS commands, data-bus occupancy
+//                (bursts never overlap) and write-to-read / read-to-write
+//                turnaround (tWTR / tRTW, measured from data end to next
+//                data start, which is the channel model's documented bus
+//                contract)
 //   policy     : under close-page, every CAS must carry auto-precharge and
 //                an activation serves exactly one CAS
 //
@@ -46,7 +55,7 @@ namespace eccsim::check {
 /// Audits one channel's command stream.  Attach via
 /// Channel::set_observer / MemorySystem::set_command_observer; single
 /// owner, driven synchronously by whichever thread runs the channel.
-class Ddr3ProtocolChecker final : public dram::CommandObserver {
+class ProtocolChecker final : public dram::CommandObserver {
  public:
   enum class Mode {
     kFatal,  ///< print context and abort at the first violation
@@ -62,8 +71,8 @@ class Ddr3ProtocolChecker final : public dram::CommandObserver {
     dram::DramCommand cmd;
   };
 
-  Ddr3ProtocolChecker(const dram::ChannelConfig& cfg, std::string name,
-                      Mode mode = default_mode());
+  ProtocolChecker(const dram::ChannelConfig& cfg, std::string name,
+                  Mode mode = default_mode());
 
   void on_command(const dram::DramCommand& cmd) override;
 
@@ -100,8 +109,14 @@ class Ddr3ProtocolChecker final : public dram::CommandObserver {
     bool cas_since_act = false;
   };
   struct RankState {
-    std::deque<std::uint64_t> act_window;  ///< last ACTs, for tRRD / tFAW
-    std::uint64_t last_ref = 0;
+    std::deque<std::uint64_t> act_window;  ///< last ACTs, for tRRD_S / tFAW
+    std::vector<std::uint64_t> group_last_act;  ///< per group, for tRRD_L
+    std::vector<bool> group_has_act;
+    std::vector<std::uint64_t> group_last_cas;  ///< per group, for tCCD_L
+    std::vector<bool> group_has_cas;
+    std::vector<std::uint64_t> set_last_ref;  ///< per bank set (1 entry
+                                              ///< under kAllBank)
+    std::vector<bool> set_has_ref;
     std::uint64_t refs_seen = 0;
   };
 
@@ -127,15 +142,21 @@ class Ddr3ProtocolChecker final : public dram::CommandObserver {
   std::vector<RankState> ranks_;
   std::vector<BankState> banks_;  ///< rank-major [rank * banks + bank]
 
-  // Channel-level data-bus state.
+  // Channel-level data-bus and CAS-spacing state.
   std::uint64_t bus_data_end_ = 0;
   bool bus_last_write_ = false;
   bool bus_used_ = false;
+  std::uint64_t last_cas_any_ = 0;  ///< for the channel-wide tCCD_S rule
+  bool cas_seen_ = false;
 
   std::deque<dram::DramCommand> history_;
   std::vector<Violation> violations_;
   std::uint64_t violation_count_ = 0;
   std::uint64_t commands_ = 0;
 };
+
+/// Historical name from when the checker was DDR3-only; the class now
+/// validates whichever generation the ChannelConfig's DramSpec selects.
+using Ddr3ProtocolChecker = ProtocolChecker;
 
 }  // namespace eccsim::check

@@ -17,12 +17,23 @@ namespace eccsim::dram {
 /// logical rows (physical pages, Fig. 4), independent of the per-device row
 /// size; capacity accounting uses data chips only.
 struct MemGeometry {
+  /// Independently-scheduled channels: physical channels times the
+  /// device's sub-channels (DDR5 contributes two per physical channel).
   std::uint32_t channels = 4;
+  /// Sub-channels folded into `channels`; 1 for DDR3/DDR4.  The decode
+  /// convention is plane-major: effective channel e serves physical
+  /// channel e % fd_channels() on sub-channel plane e / fd_channels().
+  std::uint32_t sub_channels = 1;
   std::uint32_t ranks_per_channel = 1;
   std::uint32_t banks_per_rank = 8;
   std::uint64_t rows_per_bank = 32768;  ///< logical 4KB rows holding data
   std::uint32_t line_bytes = 64;
   std::uint32_t page_bytes = 4096;
+
+  /// Failure-domain (physical) channels: sub-channels of one physical
+  /// channel share a DIMM, so cross-channel redundancy groups must spread
+  /// over these, not over `channels`.
+  std::uint32_t fd_channels() const { return channels / sub_channels; }
 
   std::uint32_t lines_per_row() const { return page_bytes / line_bytes; }
   std::uint64_t lines_per_bank() const {

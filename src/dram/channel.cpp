@@ -44,9 +44,14 @@ Channel::Channel(const ChannelConfig& cfg) : cfg_(cfg) {
   if (cfg_.ranks == 0 || cfg_.banks == 0) {
     throw std::invalid_argument("Channel: ranks/banks must be nonzero");
   }
+  if (cfg_.device.bank_groups == 0) {
+    throw std::invalid_argument("Channel: device.bank_groups must be nonzero");
+  }
   ranks_.resize(cfg_.ranks);
   for (auto& r : ranks_) {
     r.banks.resize(cfg_.banks);
+    r.next_act_rrd_l.resize(cfg_.device.bank_groups, 0);
+    r.next_cas_group.resize(cfg_.device.bank_groups, 0);
     r.next_refresh = cfg_.device.timing.tREFI;
   }
 }
@@ -78,7 +83,9 @@ std::uint64_t Channel::earliest_act(const MemRequest& req,
     // Row conflict: precharge the open row first.
     act = std::max(act, std::max(now, bank.earliest_pre) + t.tRP);
   }
-  act = std::max(act, rank.next_act_rrd);
+  act = std::max(act, rank.next_act_rrd_s);
+  act = std::max(act,
+                 rank.next_act_rrd_l[cfg_.device.bank_group_of(req.addr.bank)]);
   // tFAW: a 5th ACT must wait for the oldest of the last 4 to age out.
   if (rank.act_times.size() >= 4) {
     act = std::max(act, rank.act_times.front() + t.tFAW);
@@ -91,36 +98,51 @@ std::uint64_t Channel::earliest_act(const MemRequest& req,
   return act;
 }
 
+void Channel::charge_refresh(RankState& rank, std::uint32_t rank_idx) {
+  stats_.energy.refresh_pj +=
+      cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
+  if (hooks_) hooks_->refreshes->inc();
+  if (observer_) {
+    emit_refresh(rank_idx, rank.next_refresh,
+                 cfg_.device.refresh_set_of_ref(rank.refs_issued));
+  }
+  ++rank.refs_issued;
+  rank.next_refresh += cfg_.device.timing.tREFI;
+}
+
 std::uint64_t Channel::apply_refresh(RankState& rank, std::uint32_t rank_idx,
+                                     std::uint32_t bank_idx,
                                      std::uint64_t t_act) {
   const auto& t = cfg_.device.timing;
   // Consume refresh intervals that elapsed before this activate; each one
-  // blocks the rank for tRFC at its scheduled point if the ACT would land
-  // inside the blackout.
+  // blocks its target banks for tRFC at its scheduled point if the ACT
+  // would land inside the blackout.
   while (rank.next_refresh + t.tRFC <= t_act) {
-    stats_.energy.refresh_pj +=
-        cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
-    if (hooks_) hooks_->refreshes->inc();
-    if (observer_) emit_refresh(rank_idx, rank.next_refresh);
-    rank.next_refresh += t.tREFI;
+    charge_refresh(rank, rank_idx);
   }
   if (t_act >= rank.next_refresh) {
-    // ACT falls inside the refresh blackout: push it past tRFC.
-    stats_.energy.refresh_pj +=
-        cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
-    if (hooks_) hooks_->refreshes->inc();
-    if (observer_) emit_refresh(rank_idx, rank.next_refresh);
-    t_act = rank.next_refresh + t.tRFC;
-    rank.next_refresh += t.tREFI;
+    // The ACT falls inside the pending refresh's blackout window.  Under
+    // all-bank refresh every ACT waits; under same-bank refresh (REFsb)
+    // only ACTs to the refreshed bank set do -- others proceed, and the
+    // pending REF stays unconsumed until time passes it.
+    if (cfg_.device.refresh == RefreshPolicy::kAllBank ||
+        cfg_.device.refresh_set_of_ref(rank.refs_issued) ==
+            cfg_.device.refresh_set_of_bank(bank_idx)) {
+      const std::uint64_t blackout_end = rank.next_refresh + t.tRFC;
+      charge_refresh(rank, rank_idx);
+      t_act = blackout_end;
+    }
   }
   return t_act;
 }
 
-void Channel::emit_refresh(std::uint32_t rank_idx, std::uint64_t cycle) {
+void Channel::emit_refresh(std::uint32_t rank_idx, std::uint64_t cycle,
+                           std::uint32_t bank_set) {
   DramCommand cmd;
   cmd.kind = CmdKind::kRefresh;
   cmd.cycle = cycle;
   cmd.rank = rank_idx;
+  cmd.bank = bank_set;
   observer_->on_command(cmd);
 }
 
@@ -257,6 +279,8 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
   RankState& rank = ranks_[req.addr.rank];
   BankState& bank = rank.banks[req.addr.bank];
 
+  const std::uint32_t group = cfg_.device.bank_group_of(req.addr.bank);
+
   // Open-page row hit: CAS straight into the open row, no ACT energy.
   if (cfg_.row_policy == RowPolicy::kOpenPage && bank.row_open &&
       bank.open_row == req.addr.row &&
@@ -268,10 +292,17 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
     if (last_was_write_ && !req.is_write) bus_ready += t.tWTR;
     else if (!last_was_write_ && req.is_write) bus_ready += t.tRTW;
     data_start = std::max(data_start, bus_ready);
+    // CAS command spacing: tCCD_S channel-wide, tCCD_L within the bank
+    // group.  Both degenerate to the bus booking above for DDR3.
+    data_start = std::max(data_start, next_cas_any_ + cas_lat);
+    data_start =
+        std::max(data_start, rank.next_cas_group[group] + cas_lat);
     const std::uint64_t data_end = data_start + t.tBurst;
     const std::uint64_t t_cas = data_start - cas_lat;
 
-    bank.next_cas = t_cas + t.tCCD;
+    bank.next_cas = t_cas + t.tCCD_L;
+    next_cas_any_ = t_cas + t.tCCD_S;
+    rank.next_cas_group[group] = t_cas + t.tCCD_L;
     bank.earliest_pre = std::max(
         bank.earliest_pre,
         req.is_write ? data_end + t.tWR : t_cas + t.tRTP);
@@ -337,7 +368,7 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
   const std::uint64_t conflict_row = bank.open_row;
 
   std::uint64_t t_act = earliest_act(req, now);
-  t_act = apply_refresh(rank, req.addr.rank, t_act);
+  t_act = apply_refresh(rank, req.addr.rank, req.addr.bank, t_act);
 
   // CAS data placement: first data cycle respects tRCD + CAS latency and
   // the shared bus (with turnaround when direction changes).
@@ -350,6 +381,12 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
     bus_ready += t.tRTW;  // read-to-write turnaround
   }
   data_start = std::max(data_start, bus_ready);
+  // CAS command spacing: tCCD_S channel-wide, tCCD_L within the bank
+  // group.  Both degenerate to the bus booking above for DDR3 (where
+  // tCCD_S == tCCD_L == tBurst); tCCD_L > tBurst inserts the DDR4/DDR5
+  // same-group bubble.
+  data_start = std::max(data_start, next_cas_any_ + cas_lat);
+  data_start = std::max(data_start, rank.next_cas_group[group] + cas_lat);
   const std::uint64_t data_end = data_start + t.tBurst;
   const std::uint64_t t_cas = data_start - cas_lat;  // implied CAS issue
 
@@ -371,13 +408,16 @@ std::uint64_t Channel::issue(const MemRequest& req, std::uint64_t now) {
     bank.act_time = t_act;
     bank.earliest_pre = precharge_start;
     bank.next_cas = (data_end - t.tBurst - (req.is_write ? t.tCWL : t.tCL)) +
-                    t.tCCD;
+                    t.tCCD_L;
     bank.last_use = data_end;
     bank.next_act = t_act + t.tRC;
   } else {
     bank.next_act = std::max(precharge_done, t_act + t.tRC);
   }
-  rank.next_act_rrd = t_act + t.tRRD;
+  next_cas_any_ = t_cas + t.tCCD_S;
+  rank.next_cas_group[group] = t_cas + t.tCCD_L;
+  rank.next_act_rrd_s = t_act + t.tRRD_S;
+  rank.next_act_rrd_l[group] = t_act + t.tRRD_L;
   rank.act_times.push_back(t_act);
   while (rank.act_times.size() > 4) rank.act_times.pop_front();
 
@@ -521,13 +561,8 @@ void Channel::finalize(std::uint64_t end_cycle) {
     RankState& rank = ranks_[r];
     // Charge residual refresh energy for intervals that elapsed with no
     // traffic to trigger apply_refresh().
-    const auto& t = cfg_.device.timing;
     while (rank.next_refresh < end_cycle) {
-      stats_.energy.refresh_pj +=
-          cfg_.device.energy.refresh_pj * cfg_.chips_per_rank;
-      if (hooks_) hooks_->refreshes->inc();
-      if (observer_) emit_refresh(r, rank.next_refresh);
-      rank.next_refresh += t.tREFI;
+      charge_refresh(rank, r);
     }
     account_background(rank, end_cycle);
   }

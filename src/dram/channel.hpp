@@ -3,14 +3,21 @@
 // accounting.
 //
 // Modeling approach: forward scheduling.  When the scheduler selects a
-// transaction it computes the earliest cycle every DDR3 constraint allows
-// (bank tRC/tRP recovery, rank tRRD and tFAW, power-down exit tXP, refresh
-// blackout, shared data bus with read/write turnaround) and books the
-// command's effects (bank recovery point, bus occupancy, activate energy,
-// rank active window) into the future.  Completions are delivered from a
-// min-heap when simulated time reaches them.  This reproduces DDR3 service
-// times and utilization without per-cycle FSM stepping, which keeps the
-// full 16-workload x 8-scheme sweep tractable on one host core.
+// transaction it computes the earliest cycle every device constraint allows
+// (bank tRC/tRP recovery, rank tRRD_S/tRRD_L and tFAW, bank-group
+// tCCD_S/tCCD_L command spacing, power-down exit tXP, refresh blackout,
+// shared data bus with read/write turnaround) and books the command's
+// effects (bank recovery point, bus occupancy, activate energy, rank active
+// window) into the future.  Completions are delivered from a min-heap when
+// simulated time reaches them.  This reproduces DDR service times and
+// utilization without per-cycle FSM stepping, which keeps the full
+// 16-workload x 8-scheme sweep tractable on one host core.
+//
+// Every timing/energy number comes from the ChannelConfig's DramSpec (see
+// dram/spec.hpp): generations without bank groups (DDR3) set the _S and _L
+// constraints equal, which makes the group gates degenerate to the classic
+// single-rank constraints; same-bank refresh (DDR5 REFsb) rotates REF
+// commands through bank sets and only blacks out the targeted set.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +27,7 @@
 #include <string>
 #include <vector>
 
-#include "dram/ddr3_params.hpp"
+#include "dram/spec.hpp"
 #include "dram/observer.hpp"
 #include "dram/request.hpp"
 #include "stats/stats.hpp"
@@ -78,12 +85,16 @@ enum class SchedulerPolicy : std::uint8_t {
 };
 
 /// Configuration of one channel (shared by all channels of a system).
+/// A "channel" here is one independently-scheduled command/data bus: for
+/// DDR5 each physical channel contributes device.sub_channels of these,
+/// each owning chips_per_rank / sub_channels chips (hence the double).
 struct ChannelConfig {
-  Ddr3Device device;
+  DramSpec device;
   std::uint32_t ranks = 1;
   std::uint32_t banks = 8;
-  std::uint32_t chips_per_rank = 18;  ///< all chips incl. ECC: they all
-                                      ///< activate and burst together
+  double chips_per_rank = 18;  ///< all chips incl. ECC: they all activate
+                               ///< and burst together; fractional when a
+                               ///< physical rank splits across sub-channels
   std::uint32_t queue_depth = 64;
   std::uint32_t scheduler_window = 16;  ///< candidates examined per decision
   std::uint32_t idle_pd_timeout = 100;  ///< cycles idle before power-down
@@ -159,16 +170,19 @@ class Channel {
     std::uint64_t open_row = 0;
     std::uint64_t act_time = 0;      ///< when the open row was activated
     std::uint64_t earliest_pre = 0;  ///< tRAS / tRTP / tWR recovery point
-    std::uint64_t next_cas = 0;      ///< tRCD / tCCD gate for the open row
+    std::uint64_t next_cas = 0;      ///< tRCD / tCCD_L gate for the open row
     std::uint64_t last_use = 0;      ///< for the idle-close timeout
   };
 
   struct RankState {
     std::vector<BankState> banks;
-    std::uint64_t next_act_rrd = 0;     ///< tRRD gate
+    std::uint64_t next_act_rrd_s = 0;  ///< tRRD_S gate (any bank group)
+    std::vector<std::uint64_t> next_act_rrd_l;  ///< tRRD_L gate, per group
+    std::vector<std::uint64_t> next_cas_group;  ///< tCCD_L gate, per group
     std::deque<std::uint64_t> act_times;  ///< last ACTs for tFAW
     std::uint64_t active_until = 0;     ///< last cycle any bank is active
     std::uint64_t next_refresh = 0;
+    std::uint64_t refs_issued = 0;  ///< REFs so far (drives REFsb rotation)
     // Background integration state: everything before bg_accounted_until
     // has been charged.
     std::uint64_t bg_accounted_until = 0;
@@ -202,12 +216,20 @@ class Channel {
   void account_background(RankState& rank, std::uint64_t until);
 
   /// Applies any refresh blackout overlapping [t, ...) and charges refresh
-  /// energy; returns the possibly-delayed ACT time.
+  /// energy; returns the possibly-delayed ACT time.  Under kAllBank a
+  /// blackout delays every bank of the rank; under kSameBank only ACTs to
+  /// the refreshed bank set wait, identified via `bank_idx`.
   std::uint64_t apply_refresh(RankState& rank, std::uint32_t rank_idx,
-                              std::uint64_t t_act);
+                              std::uint32_t bank_idx, std::uint64_t t_act);
+
+  /// Charges one REF's energy, mirrors it to the observer, and advances the
+  /// rank's refresh schedule (next_refresh, refs_issued).
+  void charge_refresh(RankState& rank, std::uint32_t rank_idx);
 
   /// Mirrors one REF command to the observer (observer_ must be non-null).
-  void emit_refresh(std::uint32_t rank_idx, std::uint64_t cycle);
+  /// `bank_set` is the refreshed bank set (always 0 under kAllBank).
+  void emit_refresh(std::uint32_t rank_idx, std::uint64_t cycle,
+                    std::uint32_t bank_set);
 
   ChannelConfig cfg_;
   std::vector<RankState> ranks_;
@@ -217,6 +239,10 @@ class Channel {
   // write (for turnaround penalties).
   std::uint64_t bus_free_ = 0;
   bool last_was_write_ = false;
+  // Channel-wide CAS spacing gate: earliest cycle the next CAS command may
+  // issue (last CAS + tCCD_S).  Never binds for DDR3, where tCCD_S equals
+  // the burst length and the bus booking already spaces CAS commands.
+  std::uint64_t next_cas_any_ = 0;
 
   struct PendingCompletion {
     std::uint64_t finish;

@@ -6,15 +6,19 @@ namespace eccsim::dram {
 
 MemGeometry MemSystemConfig::geometry() const {
   MemGeometry g;
-  g.channels = channels;
+  g.channels = total_channels();
+  g.sub_channels = device.sub_channels;
   g.ranks_per_channel = ranks_per_channel;
   g.banks_per_rank = device.banks;
   g.line_bytes = line_bytes;
   g.page_bytes = 4096;
   const std::uint64_t chip_bytes = device.capacity_mbit * 1024 * 1024 / 8;
+  // Each sub-channel owns an even share of the physical rank's data chips
+  // (DDR5: half), so per-effective-channel bank capacity shrinks with the
+  // sub-channel count while system capacity stays put.
   const std::uint64_t bank_data_bytes =
-      static_cast<std::uint64_t>(data_chips_per_rank) * chip_bytes /
-      device.banks;
+      static_cast<std::uint64_t>(data_chips_per_rank / device.sub_channels) *
+      chip_bytes / device.banks;
   g.rows_per_bank = bank_data_bytes / g.page_bytes;
   return g;
 }
@@ -24,7 +28,8 @@ ChannelConfig MemorySystem::channel_config() const {
   cc.device = cfg_.device;
   cc.ranks = cfg_.ranks_per_channel;
   cc.banks = cfg_.device.banks;
-  cc.chips_per_rank = cfg_.chips_per_rank;
+  cc.chips_per_rank = static_cast<double>(cfg_.chips_per_rank) /
+                      cfg_.device.sub_channels;
   cc.queue_depth = cfg_.queue_depth;
   cc.powerdown_enabled = cfg_.powerdown_enabled;
   cc.row_policy = cfg_.row_policy;
@@ -35,8 +40,9 @@ ChannelConfig MemorySystem::channel_config() const {
 MemorySystem::MemorySystem(const MemSystemConfig& cfg)
     : cfg_(cfg), map_(cfg.geometry()) {
   const ChannelConfig cc = channel_config();
-  channels_.reserve(cfg_.channels);
-  for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+  const std::uint32_t n = cfg_.total_channels();
+  channels_.reserve(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
     channels_.emplace_back(cc);
   }
 }

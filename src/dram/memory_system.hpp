@@ -10,20 +10,23 @@
 
 #include "dram/address_map.hpp"
 #include "dram/channel.hpp"
-#include "dram/ddr3_params.hpp"
 #include "dram/request.hpp"
+#include "dram/spec.hpp"
 
 namespace eccsim::dram {
 
-/// Full configuration of a memory system instance.
+/// Full configuration of a memory system instance.  `channels` counts
+/// physical channels; when the device has sub-channels (DDR5) each one is
+/// modeled as device.sub_channels independently-scheduled Channel objects
+/// splitting the physical rank's chips between them.
 struct MemSystemConfig {
   std::string name = "mem";
-  std::uint32_t channels = 4;
+  std::uint32_t channels = 4;              ///< physical (failure-domain)
   std::uint32_t ranks_per_channel = 1;
   std::uint32_t chips_per_rank = 18;       ///< all chips (data + ECC)
   std::uint32_t data_chips_per_rank = 16;  ///< chips holding application data
   std::uint32_t line_bytes = 64;
-  Ddr3Device device = micron_2gb(DeviceWidth::kX4);
+  DramSpec device = micron_2gb(DeviceWidth::kX4);
   std::uint32_t queue_depth = 64;
   bool powerdown_enabled = true;
   RowPolicy row_policy = RowPolicy::kClosePage;
@@ -31,8 +34,14 @@ struct MemSystemConfig {
 
   /// Logical geometry implied by this configuration: each bank holds
   /// data_chips * (chip_capacity / chip_banks) bytes, organized as 4KB
-  /// logical rows (Fig. 4).
+  /// logical rows (Fig. 4).  The geometry's `channels` is the effective
+  /// count (physical * sub_channels).
   MemGeometry geometry() const;
+
+  /// Independently-scheduled channels (physical * device.sub_channels).
+  std::uint32_t total_channels() const {
+    return channels * device.sub_channels;
+  }
 
   /// Total number of DRAM devices in the system.
   std::uint64_t total_chips() const {
@@ -66,13 +75,19 @@ struct MemSystemStats {
   }
 };
 
-/// N-channel DDR3 memory system.
+/// N-channel DRAM memory system (generation set by cfg.device).
 class MemorySystem {
  public:
   explicit MemorySystem(const MemSystemConfig& cfg);
 
   const MemSystemConfig& config() const { return cfg_; }
   const AddressMap& map() const { return map_; }
+
+  /// Number of independently-scheduled channels actually built
+  /// (config().total_channels()).
+  std::uint32_t num_channels() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
 
   /// Enqueues a request for a linear data-line index.
   /// Returns false if the target channel's queue is full.

@@ -1,6 +1,6 @@
 // Command-level observation hook for the DRAM channel.
 //
-// The channel's forward-scheduling model books every DDR3 command (ACT,
+// The channel's forward-scheduling model books every DRAM command (ACT,
 // RD/WR CAS, PRE, REF) at an exact future cycle when it issues a
 // transaction.  A CommandObserver receives each booked command with its
 // cycle and full address, letting external tooling -- most importantly the
@@ -22,13 +22,16 @@
 
 namespace eccsim::dram {
 
-/// DDR3 command kinds the channel books.
+/// DRAM command kinds the channel books.
 enum class CmdKind : std::uint8_t {
   kActivate,   ///< ACT: open `row` in (rank, bank)
   kRead,       ///< RD CAS; data occupies [data_start, data_end)
   kWrite,      ///< WR CAS; data occupies [data_start, data_end)
   kPrecharge,  ///< PRE (explicit, or auto-precharge under close-page)
-  kRefresh,    ///< REF: rank-wide; blackout is [cycle, cycle + tRFC)
+  kRefresh,    ///< REF: blackout is [cycle, cycle + tRFC).  Rank-wide under
+               ///< RefreshPolicy::kAllBank (`bank` is 0); under kSameBank
+               ///< (DDR5 REFsb) `bank` carries the refreshed bank set and
+               ///< only that set's banks are blacked out.
 };
 
 const char* to_string(CmdKind kind);

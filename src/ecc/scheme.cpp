@@ -51,7 +51,7 @@ double SchemeDesc::capacity_overhead_eol(double faulty_fraction) const {
          faulty_fraction * materialized;
 }
 
-dram::MemSystemConfig SchemeDesc::mem_config() const {
+dram::MemSystemConfig SchemeDesc::mem_config(dram::Generation gen) const {
   dram::MemSystemConfig cfg;
   cfg.name = name;
   cfg.channels = channels;
@@ -66,7 +66,7 @@ dram::MemSystemConfig SchemeDesc::mem_config() const {
     // burst energy and somewhat less in background; we model the rank as
     // 4 x16 chips plus 0.55 x16-equivalents, rounded into the per-chip
     // weight by scaling the device's currents.
-    cfg.device = dram::micron_2gb(dram::DeviceWidth::kX16);
+    cfg.device = dram::spec_for(gen, dram::DeviceWidth::kX16);
     cfg.chips_per_rank = 5;
     const double equivalent_chips = 4.0 + 0.55;
     const double scale = equivalent_chips / 5.0;
@@ -79,7 +79,7 @@ dram::MemSystemConfig SchemeDesc::mem_config() const {
     cfg.device.currents.idd5b *= scale;
     dram::rederive_energy(cfg.device);
   } else {
-    cfg.device = dram::micron_2gb(width, speed_factor);
+    cfg.device = dram::spec_for(gen, width, speed_factor);
   }
   if (mixed_rank && speed_factor != 1.0) {
     // Mixed ranks keep the blended-current model; apply the speed bin's

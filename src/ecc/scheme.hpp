@@ -19,8 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "dram/ddr3_params.hpp"
 #include "dram/memory_system.hpp"
+#include "dram/spec.hpp"
 
 namespace eccsim::ecc {
 
@@ -105,8 +105,13 @@ struct SchemeDesc {
   /// correction bits materialized at 2x the parity allocation (Sec. III-B).
   double capacity_overhead_eol(double faulty_fraction) const;
 
-  /// Memory-system configuration for the DRAM simulator.
-  dram::MemSystemConfig mem_config() const;
+  /// Memory-system configuration for the DRAM simulator.  The paper's
+  /// evaluation is DDR3; passing kDdr4/kDdr5 builds the same rank/channel
+  /// organization on that generation's device (same chip count and width,
+  /// the generation's own capacity, timing, and power), including LOT-ECC5's
+  /// blended mixed-rank current model and the speed-bin scaling.
+  dram::MemSystemConfig mem_config(
+      dram::Generation gen = dram::Generation::kDdr3) const;
 
   /// Total physical memory I/O pins (Table II's last column).
   std::uint32_t io_pins() const {

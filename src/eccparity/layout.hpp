@@ -21,6 +21,15 @@
 // R/(N-1) capacity result.  (The paper's Fig. 4 rotates at row granularity;
 // the stripe/leftover rotation used here preserves every invariant the
 // mechanism relies on and admits an O(1) bidirectional mapping.)
+//
+// Sub-channels (DDR5): the failure domain is the *physical* channel, and
+// both sub-channels of one physical channel share a DIMM, so parity groups
+// must spread over N = fd_channels() physical channels -- never pair two
+// sub-channels of the same DIMM.  The layout therefore works per
+// sub-channel *plane*: effective channel e carries plane e / N of physical
+// channel e % N, and each plane independently runs the N-channel rotation
+// above.  With one sub-channel (DDR3/DDR4) there is a single plane and the
+// construction is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -36,16 +45,19 @@ struct GroupId {
   bool leftover = false;    ///< primary (stripe) or leftover group
   std::uint64_t index = 0;  ///< stripe p (primary) or block g (leftover)
   std::uint32_t slot = 0;   ///< line slot within the 4KB row
+  std::uint32_t plane = 0;  ///< sub-channel plane (0 for DDR3/DDR4)
 
   friend bool operator==(const GroupId&, const GroupId&) = default;
 
   /// Packs into a single key for hashing / map storage.
   std::uint64_t key() const {
-    return (static_cast<std::uint64_t>(leftover) << 63) | (index << 8) | slot;
+    return (static_cast<std::uint64_t>(leftover) << 63) |
+           (static_cast<std::uint64_t>(plane) << 56) | (index << 8) | slot;
   }
 };
 
-/// One group member, identified by its linear data-line index.
+/// One group member, identified by its linear data-line index.  `channel`
+/// is the physical (failure-domain) channel.
 struct Member {
   std::uint32_t channel = 0;
   std::uint64_t line_index = 0;
@@ -58,7 +70,9 @@ class ParityLayout {
   ParityLayout(const dram::MemGeometry& geom, unsigned corr_bytes);
 
   const dram::MemGeometry& geometry() const { return geom_; }
-  unsigned channels() const { return geom_.channels; }
+  /// Physical channels: the N of the parity construction (groups never
+  /// span two sub-channels of one DIMM).
+  unsigned channels() const { return geom_.fd_channels(); }
   unsigned corr_bytes() const { return corr_bytes_; }
 
   /// The group a data line belongs to.
@@ -68,7 +82,8 @@ class ParityLayout {
   /// the final partial leftover block).
   std::vector<Member> members(const GroupId& id) const;
 
-  /// The channel holding the group's parity (distinct from every member's).
+  /// The physical channel holding the group's parity (distinct from every
+  /// member's).
   std::uint32_t parity_channel(const GroupId& id) const;
 
   /// Physical address of the parity line holding this group's parity,
@@ -82,8 +97,13 @@ class ParityLayout {
   /// line indices.
   std::uint64_t xor_cacheline_key(std::uint64_t line_index) const;
 
+  /// Inverts xor_cacheline_key: the primary group whose parity line backs
+  /// the XOR cacheline.  (Leftover lines share the bucket's parity address
+  /// in the traffic model; the functional manager keeps them exact.)
+  GroupId group_for_xor_key(std::uint64_t key) const;
+
   /// Number of data lines covered by one XOR cacheline.
-  std::uint32_t xor_coverage() const { return 4 * (geom_.channels - 1); }
+  std::uint32_t xor_coverage() const { return 4 * (geom_.fd_channels() - 1); }
 
   /// Rows per bank reserved for parity lines:
   /// ceil(data_rows * (1+12.5%) * R / (N-1)) (Sec. III-E).
@@ -95,13 +115,14 @@ class ParityLayout {
 
  private:
   struct Loc {
-    std::uint32_t channel;
-    std::uint64_t stripe;  ///< within-channel page index (cpage)
+    std::uint32_t channel;  ///< physical channel
+    std::uint32_t plane;    ///< sub-channel plane
+    std::uint64_t stripe;   ///< within-channel page index (cpage)
     std::uint32_t slot;
   };
   Loc locate(std::uint64_t line_index) const;
-  std::uint64_t line_of(std::uint32_t channel, std::uint64_t stripe,
-                        std::uint32_t slot) const;
+  std::uint64_t line_of(std::uint32_t channel, std::uint32_t plane,
+                        std::uint64_t stripe, std::uint32_t slot) const;
 
   dram::MemGeometry geom_;
   dram::AddressMap map_;

@@ -38,6 +38,14 @@ FitRates ddr3_vendor_average() {
   return r;
 }
 
+FitRates on_die_ecc_filter(const FitRates& rates, double bit_fault_coverage) {
+  FitRates out = rates;
+  if (bit_fault_coverage > 0) {
+    out[FaultType::kBit] *= 1.0 - bit_fault_coverage;
+  }
+  return out;
+}
+
 bool saturates_error_counter(FaultType t) {
   switch (t) {
     case FaultType::kBit:

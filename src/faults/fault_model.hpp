@@ -63,6 +63,16 @@ struct FitRates {
 /// The DDR3 vendor-average distribution (~44 FIT/chip, [21]).
 FitRates ddr3_vendor_average();
 
+/// Applies an on-die ECC pre-correction filter (DDR5's internal SECDED) to
+/// a rate distribution: the single-bit rate is attenuated by the filter's
+/// coverage (fraction of bit faults corrected inside the device before the
+/// rank-level scheme sees them); every larger fault type passes through
+/// untouched, since a (136,128) SECDED cannot absorb word/column/row-class
+/// failures.  `bit_fault_coverage` in [0,1]; 0 returns the input verbatim.
+/// The caller passes DramSpec::on_die_ecc.bit_fault_coverage -- this layer
+/// stays independent of the DRAM spec types.
+FitRates on_die_ecc_filter(const FitRates& rates, double bit_fault_coverage);
+
 /// Whether a fault type saturates the bank-pair error counter (column and
 /// larger) or is absorbed by page retirement (bit/word/row), Sec. III-C/E.
 bool saturates_error_counter(FaultType t);

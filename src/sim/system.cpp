@@ -14,8 +14,8 @@ std::uint32_t faulty_key(const dram::DramAddress& a) {
   return (a.channel << 16) | (a.rank << 8) | a.bank;
 }
 
-// Namespace tags for LLC keys (data lines use their raw 64B index).
-constexpr std::uint64_t kXorKeyTag = 1ULL << 62;   // ParityLayout's tag
+// Namespace tag for LLC keys (data lines use their raw 64B index; XOR
+// cachelines carry ParityLayout's 1<<62 tag).
 constexpr std::uint64_t kEccKeyTag = 1ULL << 63;
 
 /// ECCSIM_CHECK set to anything but "0" enables the protocol checker for
@@ -34,7 +34,10 @@ SystemSim::SystemSim(const ecc::SchemeDesc& scheme,
       cpu_(cpu),
       opts_(opts),
       mem_([&] {
-        dram::MemSystemConfig cfg = scheme.mem_config();
+        const dram::Generation gen = opts.dram_gen
+            ? *opts.dram_gen
+            : dram::generation_from_env().value_or(dram::Generation::kDdr3);
+        dram::MemSystemConfig cfg = scheme.mem_config(gen);
         cfg.powerdown_enabled = opts.powerdown_enabled;
         cfg.row_policy = opts.row_policy;
         return cfg;
@@ -111,9 +114,9 @@ void SystemSim::close_trace_outputs() {
 void SystemSim::attach_protocol_checkers() {
   if (!opts_.protocol_check && !protocol_check_env()) return;
   const dram::ChannelConfig cc = mem_.channel_config();
-  checkers_.reserve(mem_.config().channels);
-  for (std::uint32_t c = 0; c < mem_.config().channels; ++c) {
-    checkers_.push_back(std::make_unique<check::Ddr3ProtocolChecker>(
+  checkers_.reserve(mem_.num_channels());
+  for (std::uint32_t c = 0; c < mem_.num_channels(); ++c) {
+    checkers_.push_back(std::make_unique<check::ProtocolChecker>(
         cc, scheme_.name + ".ch" + std::to_string(c)));
     mem_.set_command_observer(c, checkers_.back().get());
   }
@@ -166,7 +169,7 @@ void SystemSim::attach_stats() {
   if (tracer_) {
     // Tracks 0..channels-1 are the DRAM channels; the next one carries the
     // manager-level ECC-parity instant events.
-    ecc_trace_tid_ = mem_.config().channels;
+    ecc_trace_tid_ = mem_.num_channels();
     tracer_->set_thread_name(ecc_trace_tid_, "eccparity");
   }
 }
@@ -190,7 +193,7 @@ void SystemSim::finalize_stats() {
   // Derived per-epoch series (Figs. 14/12 over time): per-channel data-bus
   // utilization and memory energy per instruction.
   std::vector<double> total_energy(marks.size(), 0.0);
-  for (std::uint32_t c = 0; c < mem_.config().channels; ++c) {
+  for (std::uint32_t c = 0; c < mem_.num_channels(); ++c) {
     const std::string ch = "dram.ch" + std::to_string(c);
     if (const auto* busy = reg.epoch_series(ch + ".busy_data_cycles")) {
       std::vector<double> bw(busy->size(), 0.0);
@@ -237,16 +240,12 @@ std::uint64_t SystemSim::ecc_cacheline_key(std::uint64_t memline) const {
 dram::DramAddress SystemSim::ecc_line_address(std::uint64_t key) const {
   const auto& geom = mem_.config().geometry();
   if (scheme_.uses_ecc_parity) {
-    // Invert the XOR key: (stripe, slot-bucket) -> the primary group's
-    // parity line.  (Leftover lines share the bucket's parity address in
-    // this traffic model; the functional manager keeps them exact.)
-    const std::uint64_t v = key & ~kXorKeyTag;
-    const std::uint32_t buckets = geom.lines_per_row() / 4;
-    eccparity::GroupId g;
-    g.leftover = false;
-    g.index = v / buckets;
-    g.slot = static_cast<std::uint32_t>(v % buckets) * 4;
-    return parity_layout_->parity_line_address(g);
+    // Invert the XOR key: (plane, stripe, slot-bucket) -> the primary
+    // group's parity line.  (Leftover lines share the bucket's parity
+    // address in this traffic model; the functional manager keeps them
+    // exact.)
+    return parity_layout_->parity_line_address(
+        parity_layout_->group_for_xor_key(key));
   }
   // Tiered baselines (LOT-ECC, Multi-ECC): the tier-2/correction line lives
   // in the reserved top rows of the same bank as the lines it covers.
@@ -550,7 +549,7 @@ RunResult SystemSim::run() {
     if (checker->violation_count() > 0) protocol_report += checker->report();
   }
   if (protocol_violations > 0) {
-    throw std::runtime_error("DDR3 protocol violations detected:\n" +
+    throw std::runtime_error("DRAM protocol violations detected:\n" +
                              protocol_report);
   }
   result.llc = llc_.stats();
@@ -567,9 +566,11 @@ RunResult SystemSim::run() {
       static_cast<double>(result.mem.accesses_64b(scheme_.line_bytes)) /
       instr;
   const double burst = mem_.config().device.timing.tBurst;
+  // Utilization averages over every independently-scheduled data bus
+  // (physical channels times sub-channels; equal for DDR3/DDR4).
   result.bandwidth_utilization =
       static_cast<double>(result.mem.reads + result.mem.writes) * burst /
-      (static_cast<double>(scheme_.channels) *
+      (static_cast<double>(mem_.num_channels()) *
        static_cast<double>(run_cycles));
   result.avg_read_latency = result.mem.avg_read_latency;
   // Seal trace outputs before the final stats sample so the tracefile.*

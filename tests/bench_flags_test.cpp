@@ -49,6 +49,49 @@ TEST(BenchFlagsDeathTest, BadTracePointRejected) {
               ::testing::ExitedWithCode(2), "'pre' or 'post'");
 }
 
+TEST(BenchFlagsDeathTest, UnknownDramGenerationRejected) {
+  EXPECT_EXIT(run_init({"--dram", "ddr6"}), ::testing::ExitedWithCode(2),
+              "--dram must be ddr3, ddr4, or ddr5, got 'ddr6'");
+}
+
+TEST(BenchFlagsDeathTest, DramFlagRequiresValue) {
+  EXPECT_EXIT(run_init({"--dram"}), ::testing::ExitedWithCode(2),
+              "requires a value");
+}
+
+TEST(BenchFlagsDeathTest, DramGenerationsAccepted) {
+  // All three canonical names parse; init() returns normally and the env
+  // var round-trips through dram_generation().
+  EXPECT_EXIT(
+      {
+        run_init({"--dram=ddr5"});
+        std::exit(dram_generation() == dram::Generation::kDdr5 ? 0 : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
+  EXPECT_EXIT(
+      {
+        run_init({"--dram", "ddr4"});
+        std::exit(dram_generation() == dram::Generation::kDdr4 ? 0 : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
+  EXPECT_EXIT(
+      {
+        run_init({"--dram", "ddr3"});
+        std::exit(dram_generation() == dram::Generation::kDdr3 ? 0 : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchFlagsDeathTest, BadEnvDramGenerationRejected) {
+  // ECCSIM_DRAM typos must fail loudly, not fall back to DDR3.
+  EXPECT_EXIT(
+      {
+        setenv("ECCSIM_DRAM", "lpddr4", 1);
+        (void)dram_generation();
+      },
+      ::testing::ExitedWithCode(2), "unknown DRAM generation 'lpddr4'");
+}
+
 TEST(BenchFlagsDeathTest, TracePointValuesAccepted) {
   // Valid trace points parse without touching the rejection paths; init()
   // returns normally, so the child must run to completion (exit 0).

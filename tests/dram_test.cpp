@@ -8,7 +8,7 @@
 
 #include "dram/address_map.hpp"
 #include "dram/channel.hpp"
-#include "dram/ddr3_params.hpp"
+#include "dram/spec.hpp"
 #include "dram/memory_system.hpp"
 
 namespace eccsim::dram {

@@ -1,4 +1,4 @@
-// Tests for the independent DDR3 protocol checker: every seeded illegal
+// Tests for the independent DRAM protocol checker: every seeded illegal
 // command stream is caught and classified under the right rule, clean
 // synthetic streams and the real Channel under random traffic report zero
 // violations, and a checked SystemSim run completes.
@@ -96,7 +96,7 @@ TEST(ProtocolChecker, CleanOpenPageSequencePasses) {
   const auto& t = cc.device.timing;
   const std::uint64_t a1 = 1000;
   const std::uint64_t r1 = a1 + t.tRCD;
-  const std::uint64_t w1 = r1 + t.tCCD + t.tBurst + t.tRTW;  // bus-safe
+  const std::uint64_t w1 = r1 + t.tCCD_L + t.tBurst + t.tRTW;  // bus-safe
   const std::uint64_t p1 = w1 + t.tCWL + t.tBurst + t.tWR;
   const std::uint64_t a2 = p1 + t.tRP;
   const Ddr3ProtocolChecker checker =
@@ -168,16 +168,16 @@ TEST(ProtocolChecker, TooEarlySameRankActViolatesTrrd) {
   const auto cc = test_config();
   const auto& t = cc.device.timing;
   expect_violation(
-      cc, {act(1000, 0, 0, 1), act(1000 + t.tRRD - 1, 0, 1, 1)}, "tRRD");
+      cc, {act(1000, 0, 0, 1), act(1000 + t.tRRD_S - 1, 0, 1, 1)}, "tRRD_S");
 }
 
 TEST(ProtocolChecker, FifthActInWindowViolatesTfaw) {
   const auto cc = test_config();
   const auto& t = cc.device.timing;
-  ASSERT_GT(t.tFAW, 4u * t.tRRD);  // the window binds beyond tRRD
+  ASSERT_GT(t.tFAW, 4u * t.tRRD_S);  // the window binds beyond tRRD
   std::vector<DramCommand> stream;
   for (std::uint32_t i = 0; i < 4; ++i) {
-    stream.push_back(act(1000 + i * t.tRRD, 0, i, 1));
+    stream.push_back(act(1000 + i * t.tRRD_S, 0, i, 1));
   }
   // Legal per tRRD, one cycle inside the four-activate window.
   stream.push_back(act(1000 + t.tFAW - 1, 0, 4, 1));
@@ -189,7 +189,7 @@ TEST(ProtocolChecker, FifthActAtTfawBoundaryIsLegal) {
   const auto& t = cc.device.timing;
   std::vector<DramCommand> stream;
   for (std::uint32_t i = 0; i < 4; ++i) {
-    stream.push_back(act(1000 + i * t.tRRD, 0, i, 1));
+    stream.push_back(act(1000 + i * t.tRRD_S, 0, i, 1));
   }
   stream.push_back(act(1000 + t.tFAW, 0, 4, 1));
   EXPECT_EQ(audit(cc, stream).violation_count(), 0u);
@@ -200,9 +200,9 @@ TEST(ProtocolChecker, OtherRankEscapesTrrdAndTfaw) {
   const auto& t = cc.device.timing;
   std::vector<DramCommand> stream;
   for (std::uint32_t i = 0; i < 4; ++i) {
-    stream.push_back(act(1000 + i * t.tRRD, 0, i, 1));
+    stream.push_back(act(1000 + i * t.tRRD_S, 0, i, 1));
   }
-  stream.push_back(act(1000 + 3 * t.tRRD + 1, 1, 0, 1));
+  stream.push_back(act(1000 + 3 * t.tRRD_S + 1, 1, 0, 1));
   EXPECT_EQ(audit(cc, stream).violation_count(), 0u);
 }
 
@@ -212,8 +212,8 @@ TEST(ProtocolChecker, BackToBackCasViolatesTccd) {
   const std::uint64_t c1 = 1000 + t.tRCD;
   expect_violation(cc,
                    {act(1000, 0, 0, 5), cas(cc, false, c1, 0, 0, 5),
-                    cas(cc, false, c1 + t.tCCD - 1, 0, 0, 5)},
-                   "tCCD");
+                    cas(cc, false, c1 + t.tCCD_L - 1, 0, 0, 5)},
+                   "tCCD_L");
 }
 
 TEST(ProtocolChecker, InconsistentDataWindowViolatesCasLatency) {
@@ -240,9 +240,9 @@ TEST(ProtocolChecker, OverlappingBurstsViolateBusOccupancy) {
   // (tCCD is per bank) yet its burst still overlaps on the shared bus.
   const std::uint64_t c1 = 1000 + t.tRCD + 10;
   const std::uint64_t c2 = c1 + t.tBurst - 1;
-  ASSERT_GE(c2, 1000 + t.tRRD + t.tRCD);
+  ASSERT_GE(c2, 1000 + t.tRRD_S + t.tRCD);
   expect_violation(cc,
-                   {act(1000, 0, 0, 5), act(1000 + t.tRRD, 0, 1, 5),
+                   {act(1000, 0, 0, 5), act(1000 + t.tRRD_S, 0, 1, 5),
                     cas(cc, false, c1, 0, 0, 5),
                     cas(cc, false, c2, 0, 1, 5)},
                    "bus-overlap");
@@ -256,7 +256,7 @@ TEST(ProtocolChecker, WriteToReadTurnaroundViolatesTwtr) {
   // Read data would start one cycle inside the write->read turnaround.
   const std::uint64_t r = w_end + t.tWTR - 1 - t.tCL;
   expect_violation(cc,
-                   {act(1000, 0, 0, 5), act(1000 + t.tRRD, 0, 1, 5),
+                   {act(1000, 0, 0, 5), act(1000 + t.tRRD_S, 0, 1, 5),
                     cas(cc, true, w, 0, 0, 5),
                     cas(cc, false, r, 0, 1, 5)},
                    "tWTR");
@@ -269,7 +269,7 @@ TEST(ProtocolChecker, ReadToWriteTurnaroundViolatesTrtw) {
   const std::uint64_t r_end = r + t.tCL + t.tBurst;
   const std::uint64_t w = r_end + t.tRTW - 1 - t.tCWL;
   expect_violation(cc,
-                   {act(1000, 0, 0, 5), act(1000 + t.tRRD, 0, 1, 5),
+                   {act(1000, 0, 0, 5), act(1000 + t.tRRD_S, 0, 1, 5),
                     cas(cc, false, r, 0, 0, 5),
                     cas(cc, true, w, 0, 1, 5)},
                    "tRTW");

@@ -8,6 +8,7 @@
 //   tracetool stats FILE                            stream statistics
 //   tracetool head FILE [-n N]                      first N records
 //   tracetool list-workloads                        the recordable names
+//   tracetool specs [--dram G]                      DRAM generation tables
 //
 // Records are generator-direct (no simulation), so recording all 16
 // workloads at the default 60000 ops/core takes well under a second.  The
@@ -24,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dram/spec.hpp"
 #include "trace/workload.hpp"
 #include "tracefile/reader.hpp"
 #include "tracefile/replay.hpp"
@@ -50,7 +52,10 @@ int usage(FILE* out, int code) {
                "  stats FILE           read/write mix, footprint, gaps\n"
                "  head FILE [-n N]     print the first N records (default "
                "10)\n"
-               "  list-workloads       names recordable with --workload\n");
+               "  list-workloads       names recordable with --workload\n"
+               "  specs [--dram G]     print the device parameter tables of\n"
+               "                       every DRAM generation (or just G:\n"
+               "                       ddr3, ddr4, or ddr5)\n");
   return code;
 }
 
@@ -275,6 +280,115 @@ int cmd_head(int argc, char** argv) {
   return 0;
 }
 
+/// One generation's parameter table: geometry summary, then every timing
+/// and current value with the x4/x8/x16 variants side by side.  The same
+/// numbers the simulator uses (spec_for), so the printout is always in
+/// sync with the model; docs/DRAM_SPECS.md carries the provenance.
+void print_spec_table(dram::Generation gen) {
+  const dram::DeviceWidth widths[] = {dram::DeviceWidth::kX4,
+                                      dram::DeviceWidth::kX8,
+                                      dram::DeviceWidth::kX16};
+  dram::DramSpec specs[3];
+  for (int i = 0; i < 3; ++i) specs[i] = dram::spec_for(gen, widths[i]);
+  const dram::DramSpec& s = specs[0];
+
+  std::printf("== %s: %" PRIu64 "Mb, %u banks", to_string(gen).c_str(),
+              s.capacity_mbit, s.banks);
+  if (s.bank_groups > 1) std::printf(" in %u groups", s.bank_groups);
+  if (s.sub_channels > 1) std::printf(", %u sub-channels", s.sub_channels);
+  std::printf(", %s refresh",
+              s.refresh == dram::RefreshPolicy::kSameBank ? "same-bank"
+                                                          : "all-bank");
+  if (s.on_die_ecc.enabled) {
+    std::printf(", on-die SECDED (%u,%u) coverage %.0f%%",
+                s.on_die_ecc.data_bits + s.on_die_ecc.check_bits,
+                s.on_die_ecc.data_bits, s.on_die_ecc.bit_fault_coverage * 100);
+  }
+  std::printf(" ==\n");
+
+  std::printf("%-22s %10s %10s %10s\n", "parameter", "x4", "x8", "x16");
+  auto row_u64 = [&](const char* name, auto get) {
+    std::printf("%-22s %10llu %10llu %10llu\n", name,
+                static_cast<unsigned long long>(get(specs[0])),
+                static_cast<unsigned long long>(get(specs[1])),
+                static_cast<unsigned long long>(get(specs[2])));
+  };
+  auto row_f = [&](const char* name, auto get) {
+    std::printf("%-22s %10.1f %10.1f %10.1f\n", name, get(specs[0]),
+                get(specs[1]), get(specs[2]));
+  };
+  using S = const dram::DramSpec&;
+  row_u64("rows", [](S d) { return d.rows; });
+  row_u64("columns", [](S d) { return d.columns; });
+  row_u64("page bytes", [](S d) { return d.page_bytes; });
+  std::printf("timing (cycles @ 1 GHz)\n");
+  row_u64("  tRCD", [](S d) { return d.timing.tRCD; });
+  row_u64("  tCL", [](S d) { return d.timing.tCL; });
+  row_u64("  tCWL", [](S d) { return d.timing.tCWL; });
+  row_u64("  tRP", [](S d) { return d.timing.tRP; });
+  row_u64("  tRAS", [](S d) { return d.timing.tRAS; });
+  row_u64("  tRC", [](S d) { return d.timing.tRC; });
+  row_u64("  tRRD_S", [](S d) { return d.timing.tRRD_S; });
+  row_u64("  tRRD_L", [](S d) { return d.timing.tRRD_L; });
+  row_u64("  tFAW", [](S d) { return d.timing.tFAW; });
+  row_u64("  tCCD_S", [](S d) { return d.timing.tCCD_S; });
+  row_u64("  tCCD_L", [](S d) { return d.timing.tCCD_L; });
+  row_u64("  tBurst", [](S d) { return d.timing.tBurst; });
+  row_u64("  tWR", [](S d) { return d.timing.tWR; });
+  row_u64("  tWTR", [](S d) { return d.timing.tWTR; });
+  row_u64("  tRTP", [](S d) { return d.timing.tRTP; });
+  row_u64("  tRTW", [](S d) { return d.timing.tRTW; });
+  row_u64("  tRFC", [](S d) { return d.timing.tRFC; });
+  row_u64("  tREFI", [](S d) { return d.timing.tREFI; });
+  row_u64("  tXP", [](S d) { return d.timing.tXP; });
+  row_u64("  tCKE", [](S d) { return d.timing.tCKE; });
+  std::printf("currents (mA) / VDD (V)\n");
+  row_f("  IDD0", [](S d) { return d.currents.idd0; });
+  row_f("  IDD2P", [](S d) { return d.currents.idd2p; });
+  row_f("  IDD2N", [](S d) { return d.currents.idd2n; });
+  row_f("  IDD3P", [](S d) { return d.currents.idd3p; });
+  row_f("  IDD3N", [](S d) { return d.currents.idd3n; });
+  row_f("  IDD4R", [](S d) { return d.currents.idd4r; });
+  row_f("  IDD4W", [](S d) { return d.currents.idd4w; });
+  row_f("  IDD5B", [](S d) { return d.currents.idd5b; });
+  row_f("  VDD", [](S d) { return d.currents.vdd; });
+  std::printf("derived energy (pJ per chip)\n");
+  row_f("  ACT+PRE", [](S d) { return d.energy.act_pj; });
+  row_f("  RD burst", [](S d) { return d.energy.rd_burst_pj; });
+  row_f("  WR burst", [](S d) { return d.energy.wr_burst_pj; });
+  row_f("  REF", [](S d) { return d.energy.refresh_pj; });
+}
+
+int cmd_specs(int argc, char** argv) {
+  std::optional<dram::Generation> only;
+  for (int i = 2; i < argc; ++i) {
+    const char* v = flag_value(argc, argv, i, "--dram");
+    if (v != nullptr) {
+      only = dram::parse_generation(v);
+      if (!only) {
+        std::fprintf(stderr,
+                     "tracetool specs: --dram must be ddr3, ddr4, or ddr5, "
+                     "got '%s'\n", v);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "tracetool specs: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  const dram::Generation all[] = {dram::Generation::kDdr3,
+                                  dram::Generation::kDdr4,
+                                  dram::Generation::kDdr5};
+  bool first = true;
+  for (dram::Generation g : all) {
+    if (only && g != *only) continue;
+    if (!first) std::printf("\n");
+    first = false;
+    print_spec_table(g);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -290,6 +404,7 @@ int main(int argc, char** argv) {
       print_workloads();
       return 0;
     }
+    if (cmd == "specs") return cmd_specs(argc, argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       return usage(stdout, 0);
     }
