@@ -10,7 +10,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/heartbeat.hpp"
+#include "obs/manifest.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/run_info.hpp"
 #include "runner/stats_json.hpp"
+#include "runner/thread_pool.hpp"
 #include "stats/scope.hpp"
 #include "stats/stats.hpp"
 #include "stats/trace.hpp"
@@ -117,6 +122,7 @@ std::string resolve_trace_in(const std::string& workload,
                "%s: no trace for %s/%s under --trace-in (tried %s and %s)\n",
                g_bench_name.c_str(), workload.c_str(), scheme.c_str(),
                shared.c_str(), per_cell.c_str());
+  obs::note_exit_code(1);
   std::exit(1);
 }
 
@@ -146,6 +152,19 @@ void write_stats_dump(
     const std::vector<std::unique_ptr<stats::Collector>>& collectors);
 extern std::vector<std::unique_ptr<stats::Collector>> g_adhoc_collectors;
 
+/// Process-wide accumulation of every merged registry this run produced
+/// (sweep + ad-hoc collectors), exported as results/<bench>.prom by the
+/// atexit report.  Function-local static, touched from init() so it
+/// outlives the atexit handler.
+stats::Registry& prom_registry() {
+  static stats::Registry reg;
+  return reg;
+}
+
+std::string manifest_path() {
+  return out_dir("results") + "/" + g_bench_name + ".manifest.json";
+}
+
 /// End-of-run report, registered via std::atexit by init().  The first
 /// line always prints (scripts/run_all.sh parses it for its summary); the
 /// per-scope profile only exists when --stats enabled the profiler.
@@ -163,6 +182,23 @@ void profile_report() {
   std::fprintf(stderr, "[eccsim-profile] bench=%s wall_seconds=%.3f "
                "peak_rss_mb=%.1f\n",
                g_bench_name.c_str(), wall, rss_mb);
+
+  // Finalize the run manifest (status was "running" since init()).
+  obs::Manifest& m = obs::manifest();
+  m.finished_utc = obs::utc_timestamp();
+  m.wall_seconds = wall;
+  m.peak_rss_bytes = stats::process_peak_rss_bytes();
+  if (m.status == "running") m.status = "completed";
+  obs::write_manifest(manifest_path(), m);
+
+  if (stats_config().enabled && prom_registry().size() > 0) {
+    obs::write_openmetrics(
+        out_dir("results") + "/" + g_bench_name + ".prom", prom_registry(),
+        {{"bench", g_bench_name},
+         {"dram", dram::to_string(dram_generation())},
+         {"fidelity",
+          smoke_mode() ? "smoke" : (quick_mode() ? "quick" : "full")}});
+  }
   if (!stats::Profiler::enabled()) return;
 
   const auto snapshot = stats::Profiler::snapshot();
@@ -193,6 +229,9 @@ void write_stats_dump(
     const std::vector<std::unique_ptr<stats::Collector>>& collectors) {
   stats::Registry merged;
   for (const auto& c : collectors) merged.merge(c->registry());
+  // Feed the process-wide OpenMetrics registry too: a bench may dump both
+  // a sweep and ad-hoc collectors, and the .prom file reflects their sum.
+  prom_registry().merge(merged);
 
   runner::Json doc = runner::Json::object();
   doc.set("bench", g_bench_name);
@@ -366,6 +405,7 @@ std::vector<sim::RunResult> run_sweep(ecc::SystemScale scale) {
           std::fprintf(stderr, "\n%s: trace failure in cell %s/%s: %s\n",
                        g_bench_name.c_str(), name.c_str(),
                        ecc::to_string(id).c_str(), e.what());
+          obs::note_exit_code(1);
           std::exit(1);
         }
       };
@@ -455,6 +495,10 @@ void init(int argc, char** argv) {
     } else if ((v = flag_value(i, arg, "--trace-point")) != nullptr) {
       setenv("ECCSIM_TRACE_POINT", v, 1);
       (void)trace_point();  // reject anything but pre/post immediately
+    } else if ((v = flag_value(i, arg, "--status")) != nullptr) {
+      setenv("ECCSIM_STATUS", v, 1);
+    } else if (arg == "--progress") {
+      setenv("ECCSIM_PROGRESS", "1", 1);
     } else if (arg == "--list-workloads") {
       print_workloads();
       std::exit(0);
@@ -466,6 +510,7 @@ void init(int argc, char** argv) {
           "[--trace-point pre|post]\n"
           "          [--mc-systems N] [--mc-chunk N]\n"
           "          [--mc-target-rel-ci X] [--mc-checkpoint FILE]\n"
+          "          [--status FILE] [--progress]\n"
           "  --stats          enable the stats registry, epoch time series,\n"
           "                   results/<bench>.stats.json, and the profiler\n"
           "  --stats-epoch=N  epoch length in memory cycles (implies "
@@ -497,12 +542,17 @@ void init(int argc, char** argv) {
           "                   95%% CI half-width of the estimate reaches X\n"
           "  --mc-checkpoint FILE  append completed MC chunks to FILE and\n"
           "                   skip them on rerun (kill-safe resume)\n"
+          "  --status FILE    publish live progress snapshots to FILE\n"
+          "                   (atomic JSON; watch with `benchtool watch`)\n"
+          "  --progress       live progress line on stderr (throughput,\n"
+          "                   ETA, and rel-CI during Monte Carlo runs)\n"
           "Environment: ECCSIM_STATS, STATS_EPOCH, STATS_TRACE,\n"
           "STATS_TRACE_LIMIT, ECCSIM_QUICK, ECCSIM_SMOKE, ECCSIM_DRAM,\n"
           "RUNNER_THREADS, ECCSIM_SWEEP_CACHE, ECCSIM_CHECK,\n"
           "ECCSIM_TRACE_IN, ECCSIM_TRACE_OUT, ECCSIM_TRACE_POINT,\n"
           "ECCSIM_MC_SYSTEMS, ECCSIM_MC_CHUNK, ECCSIM_MC_TARGET_REL_CI,\n"
-          "ECCSIM_MC_CHECKPOINT\n",
+          "ECCSIM_MC_CHECKPOINT, ECCSIM_STATUS, ECCSIM_PROGRESS,\n"
+          "ECCSIM_STATUS_INTERVAL_MS\n",
           g_bench_name.c_str());
       std::exit(0);
     } else {
@@ -512,10 +562,34 @@ void init(int argc, char** argv) {
     }
   }
   if (stats_config().enabled) stats::Profiler::set_enabled(true);
-  // Touch the profiler's function-local statics now so they are
-  // constructed before the atexit handler registers -- C++ tears static
-  // storage down in reverse order, so this guarantees they outlive it.
+
+  // Boot the run manifest: written with status "running" now, finalized
+  // by the atexit report.  A reader that finds a stale "running" manifest
+  // knows the process died without reaching its exit hook.
+  obs::Heartbeat::global().set_tool(g_bench_name);
+  obs::Manifest& m = obs::manifest();
+  m.tool = g_bench_name;
+  for (int i = 1; i < argc; ++i) m.args.emplace_back(argv[i]);
+  m.git_sha = obs::git_head_sha();
+  m.dram = dram::to_string(dram_generation());
+  // All sweeps draw per-workload substreams of root seed 1 (see
+  // trace::paper_sweep_seed); that is the only seed regime the benches use.
+  m.seed_regime = "paper_sweep_seed(root=1)";
+  m.threads = runner::ThreadPool::default_thread_count();
+  m.host = obs::hostname();
+  m.host_cpus = obs::cpu_count();
+  m.started_utc = obs::utc_timestamp();
+  m.extra.emplace_back("fidelity", smoke_mode()   ? "smoke"
+                                   : quick_mode() ? "quick"
+                                                  : "full");
+  obs::write_manifest(manifest_path(), m);
+
+  // Touch the profiler's (and exporter's) function-local statics now so
+  // they are constructed before the atexit handler registers -- C++ tears
+  // static storage down in reverse order, so this guarantees they outlive
+  // it.
   (void)stats::Profiler::snapshot();
+  (void)prom_registry();
   std::atexit(&profile_report);
 }
 
@@ -588,8 +662,20 @@ unsigned mc_systems(unsigned full) {
 runner::Report run_cells(const std::string& label,
                          const std::vector<runner::Cell>& cells) {
   runner::RunOptions opts;
-  opts.progress = [&label](std::size_t done, std::size_t total,
-                           const runner::Cell& cell) {
+  obs::Heartbeat& hb = obs::Heartbeat::global();
+  opts.progress = [&label, &hb](std::size_t done, std::size_t total,
+                                const runner::Cell& cell) {
+    if (hb.enabled()) {
+      obs::Heartbeat::Tick t;
+      t.phase = label;
+      t.done = done;
+      t.total = total;
+      t.counters = {{"cells_done", static_cast<double>(done)}};
+      hb.tick(t);
+    }
+    // The heartbeat's --progress line supersedes the plain one; printing
+    // both would interleave two \r lines on the same row.
+    if (hb.config().stderr_line) return;
     std::fprintf(stderr, "\r[%s] %zu/%zu (%s / %s)        ", label.c_str(),
                  done, total, cell.workload.c_str(), cell.scheme.c_str());
     std::fflush(stderr);

@@ -19,7 +19,10 @@
 // Besides the stdout table and bench_results/<name>.csv, every emit() also
 // writes machine-readable results/<name>.json (table + run metadata), and
 // each freshly simulated sweep writes results/sweep_<scale>.json with
-// per-cell metrics, timings, and the realized parallel speedup.
+// per-cell metrics, timings, and the realized parallel speedup.  Every run
+// additionally writes results/<bench>.manifest.json (git SHA, DRAM
+// generation, host, timings, exit status; docs/OBSERVABILITY.md) and, with
+// --stats, an OpenMetrics results/<bench>.prom export.
 #pragma once
 
 #include <string>
@@ -60,6 +63,11 @@ namespace eccsim::bench {
 ///                     DIR/<workload>_<scheme>.ecctrace (= ECCSIM_TRACE_OUT)
 ///   --trace-point P   'pre' (replayable per-core stream, default) or
 ///                     'post' (DRAM request stream) (= ECCSIM_TRACE_POINT)
+///   --status FILE     publish live progress snapshots to FILE as atomically
+///                     replaced JSON (= ECCSIM_STATUS; see src/obs and
+///                     `benchtool watch`)
+///   --progress        live stderr progress line with throughput/ETA/rel-CI
+///                     (= ECCSIM_PROGRESS=1)
 /// Valued flags accept both `--flag value` and `--flag=value` and map to
 /// their ECCSIM_* environment equivalents.  Call first in main(); unknown
 /// flags exit with code 2 and point at --help, which documents every flag

@@ -10,9 +10,11 @@
 #                     a SIGKILL reliably lands mid-run
 #   3. resumed     -- same checkpoint file, full speed
 # The resumed run must (a) actually restore chunks from the checkpoint
-# (its stderr reports "resuming") and (b) produce stdout and CSV output
-# byte-identical to the uninterrupted reference.  results/*.json files are
-# excluded from the comparison: they embed wall-clock timings.
+# (its stderr reports "resuming"), (b) produce stdout and CSV output
+# byte-identical to the uninterrupted reference, and (c) record
+# "resumed": true in its run manifest (see docs/OBSERVABILITY.md).
+# results/*.json files are excluded from the byte comparison: they embed
+# wall-clock timings.
 set -e
 
 bin=$1
@@ -66,4 +68,14 @@ if ! cmp -s "$work/ref.csv" "$csv"; then
   diff "$work/ref.csv" "$csv" >&2 || true
   exit 1
 fi
-echo "[mc-resume] $name: OK (resume is byte-identical)" >&2
+manifest="results/smoke/$name.manifest.json"
+if ! grep -q '"resumed": true' "$manifest"; then
+  echo "[mc-resume] FAIL: $manifest does not record \"resumed\": true" >&2
+  cat "$manifest" >&2 || true
+  exit 1
+fi
+if ! grep -q '"status": "completed"' "$manifest"; then
+  echo "[mc-resume] FAIL: $manifest is not marked completed" >&2
+  exit 1
+fi
+echo "[mc-resume] $name: OK (resume is byte-identical, manifest records it)" >&2

@@ -80,10 +80,21 @@ if [ -s "$profiles" ]; then
     echo ""
     echo "--- per-binary profile (from [eccsim-profile]) ---"
     printf '%-32s %12s %12s\n' "binary" "wall (s)" "peak RSS (MB)"
-    sed -e 's/^\[eccsim-profile\] bench=//' \
-        -e 's/ wall_seconds=/ /' -e 's/ peak_rss_mb=/ /' "$profiles" |
-      while read -r bench wall rss; do
-        printf '%-32s %12s %12s\n' "$bench" "$wall" "$rss"
-      done
+    # Parse key=value fields by name rather than by position so a missing
+    # or garbled field (e.g. peak RSS unavailable on this platform)
+    # degrades to "n/a" instead of shifting columns or breaking the table.
+    awk '{
+      bench = "n/a"; wall = "n/a"; rss = "n/a"
+      for (i = 1; i <= NF; i++) {
+        eq = index($i, "=")
+        if (eq < 2 || eq == length($i)) continue
+        key = substr($i, 1, eq - 1)
+        val = substr($i, eq + 1)
+        if (key == "bench") bench = val
+        else if (key == "wall_seconds" && val ~ /^[0-9]+([.][0-9]+)?$/) wall = val
+        else if (key == "peak_rss_mb" && val ~ /^[0-9]+([.][0-9]+)?$/) rss = val
+      }
+      printf "%-32s %12s %12s\n", bench, wall, rss
+    }' "$profiles"
   } >&2
 fi

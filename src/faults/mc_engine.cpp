@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/heartbeat.hpp"
+#include "obs/manifest.hpp"
 #include "runner/thread_pool.hpp"
 #include "stats/stats.hpp"
 
@@ -209,6 +211,7 @@ McRunInfo mc_run(unsigned systems, std::uint64_t seed, std::size_t nfields,
                    " chunks from %s\n",
                    tag.c_str(), loaded.size(), nchunks,
                    opts.checkpoint_path.c_str());
+      obs::note_resumed();
     }
   }
 
@@ -236,6 +239,23 @@ McRunInfo mc_run(unsigned systems, std::uint64_t seed, std::size_t nfields,
   // Merges one completed chunk (strict index order across calls) and
   // evaluates the early-stop rule; returns true to keep going.
   std::vector<double> ci_series;
+  obs::Heartbeat& hb = obs::Heartbeat::global();
+  const auto heartbeat_tick = [&](bool run_complete) {
+    if (!hb.enabled()) return;
+    obs::Heartbeat::Tick t;
+    t.phase = "mc:" + tag;
+    t.done = info.systems_merged;
+    // Early stop ends the run with systems_merged < systems; shrink the
+    // plan so the snapshot reads as final rather than abandoned.
+    t.total = run_complete ? info.systems_merged : systems;
+    if (rel_ci && info.chunks_merged > 0) t.rel_ci = info.final_rel_ci;
+    t.counters = {
+        {"chunks_merged", static_cast<double>(info.chunks_merged)},
+        {"chunks_loaded", static_cast<double>(info.chunks_loaded)},
+    };
+    t.force = run_complete;
+    hb.tick(t);
+  };
   const auto merge_chunk = [&](std::uint64_t ci,
                                const std::vector<double>& fields,
                                bool was_loaded) {
@@ -262,9 +282,11 @@ McRunInfo mc_run(unsigned systems, std::uint64_t seed, std::size_t nfields,
           info.systems_merged >= opts.min_systems &&
           info.final_rel_ci <= opts.target_rel_ci) {
         info.early_stopped = true;
+        heartbeat_tick(true);
         return false;
       }
     }
+    heartbeat_tick(false);
     return true;
   };
 

@@ -1,0 +1,153 @@
+#include "obs/openmetrics.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/heartbeat.hpp"
+#include "stats/stats.hpp"
+
+namespace eccsim::obs {
+
+namespace {
+
+/// Maps a dotted registry path onto a metric name: eccsim_ prefix, dots
+/// and any other non-[a-zA-Z0-9_] byte become underscores.
+std::string metric_name(const std::string& path) {
+  std::string out = "eccsim_";
+  for (const char c : path) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return out;
+}
+
+std::string escape_label(const std::string& value) {
+  std::string out;
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string format_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+class Writer {
+ public:
+  explicit Writer(
+      const std::vector<std::pair<std::string, std::string>>& labels) {
+    for (const auto& [key, value] : labels) {
+      if (!base_labels_.empty()) base_labels_ += ',';
+      base_labels_ += key + "=\"" + escape_label(value) + "\"";
+    }
+  }
+
+  void type_line(const std::string& name, const char* type) {
+    out_ += "# TYPE " + name + ' ' + type + '\n';
+  }
+
+  /// Emits one sample; `extra` is an optional pre-formatted label pair
+  /// (e.g. `le="0.5"`) appended after the base labels.
+  void sample(const std::string& name, double value,
+              const std::string& extra = "") {
+    out_ += name;
+    if (!base_labels_.empty() || !extra.empty()) {
+      out_ += '{';
+      out_ += base_labels_;
+      if (!base_labels_.empty() && !extra.empty()) out_ += ',';
+      out_ += extra;
+      out_ += '}';
+    }
+    out_ += ' ';
+    out_ += format_number(value);
+    out_ += '\n';
+  }
+
+  std::string finish() {
+    out_ += "# EOF\n";
+    return std::move(out_);
+  }
+
+ private:
+  std::string base_labels_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string to_openmetrics(
+    const stats::Registry& reg,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  Writer w(labels);
+  using Kind = stats::Registry::Kind;
+  for (const auto& entry : reg.view()) {
+    const std::string name = metric_name(*entry.path);
+    switch (entry.kind) {
+      case Kind::kCounter:
+      case Kind::kAccum:
+        w.type_line(name, "counter");
+        w.sample(name + "_total", entry.value);
+        break;
+      case Kind::kGauge:
+        w.type_line(name, "gauge");
+        w.sample(name, entry.value);
+        break;
+      case Kind::kDistribution: {
+        w.type_line(name + "_count", "gauge");
+        w.sample(name + "_count", static_cast<double>(entry.dist->count()));
+        w.type_line(name + "_sum", "gauge");
+        w.sample(name + "_sum", entry.dist->sum());
+        w.type_line(name + "_min", "gauge");
+        w.sample(name + "_min", entry.dist->min());
+        w.type_line(name + "_max", "gauge");
+        w.sample(name + "_max", entry.dist->max());
+        break;
+      }
+      case Kind::kHistogram: {
+        const stats::Histogram& h = *entry.hist;
+        w.type_line(name, "histogram");
+        const double width =
+            (h.hi() - h.lo()) / static_cast<double>(h.bins().size());
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bins().size(); ++i) {
+          cumulative += h.bins()[i];
+          // The top edge bin clamps overflow samples, so its upper bound
+          // is +Inf rather than hi().
+          const bool last = i + 1 == h.bins().size();
+          const std::string le =
+              last ? "+Inf"
+                   : format_number(h.lo() + width * static_cast<double>(i + 1));
+          w.sample(name + "_bucket", static_cast<double>(cumulative),
+                   "le=\"" + le + "\"");
+        }
+        w.sample(name + "_count", static_cast<double>(h.total()));
+        break;
+      }
+    }
+  }
+  return w.finish();
+}
+
+bool write_openmetrics(
+    const std::string& path, const stats::Registry& reg,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  return atomic_write_file(path, to_openmetrics(reg, labels));
+}
+
+}  // namespace eccsim::obs

@@ -1,0 +1,45 @@
+// OpenMetrics textfile exporter for stats::Registry.
+//
+// Serializes every registered stat into the Prometheus/OpenMetrics text
+// exposition format so a node-exporter textfile collector (or plain
+// `promtool check metrics`) can scrape a finished run.  Naming follows the
+// convention documented in docs/OBSERVABILITY.md:
+//
+//   - every metric is prefixed `eccsim_`; dotted registry paths map to
+//     underscores ("dram.ch0.acts" -> eccsim_dram_ch0_acts_total)
+//   - counters/accums are OpenMetrics counters and carry the `_total`
+//     suffix; gauges stay gauges
+//   - a Distribution becomes four gauges (_count, _sum, _min, _max)
+//   - a Histogram becomes a native histogram: cumulative `_bucket{le=}`
+//     series, `_sum` (unavailable -> omitted), and `_count`
+//   - labels passed by the caller (bench, dram, ...) are attached to
+//     every sample; the document ends with the mandatory `# EOF`
+//
+// Observation-only, like everything in obs: exporting reads the registry
+// and never mutates simulation state.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eccsim::stats {
+class Registry;
+}
+
+namespace eccsim::obs {
+
+/// Renders `reg` as an OpenMetrics text document.  `labels` are attached
+/// to every sample (values are escaped); the result always terminates
+/// with `# EOF\n`.
+std::string to_openmetrics(
+    const stats::Registry& reg,
+    const std::vector<std::pair<std::string, std::string>>& labels = {});
+
+/// Renders and atomically writes `reg` to `path` (conventionally
+/// results/<bench>.prom).
+bool write_openmetrics(
+    const std::string& path, const stats::Registry& reg,
+    const std::vector<std::pair<std::string, std::string>>& labels = {});
+
+}  // namespace eccsim::obs

@@ -1,0 +1,140 @@
+#include "obs/perf_history.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/heartbeat.hpp"
+#include "runner/json.hpp"
+
+namespace eccsim::obs::perf {
+
+namespace {
+
+runner::Json record_to_json(const Record& r) {
+  runner::Json doc = runner::Json::object();
+  doc.set("git_sha", r.git_sha);
+  doc.set("timestamp_utc", r.timestamp_utc);
+  doc.set("host", r.host);
+  doc.set("threads", static_cast<std::uint64_t>(r.threads));
+  doc.set("smoke", r.smoke);
+  runner::Json metrics = runner::Json::object();
+  for (const auto& [name, seconds] : r.metrics) metrics.set(name, seconds);
+  doc.set("metrics", metrics);
+  return doc;
+}
+
+Record record_from_json(const runner::Json& doc) {
+  Record r;
+  r.git_sha = doc.at("git_sha").as_string();
+  r.timestamp_utc = doc.at("timestamp_utc").as_string();
+  r.host = doc.at("host").as_string();
+  r.threads = static_cast<unsigned>(doc.at("threads").as_number());
+  r.smoke = doc.at("smoke").as_bool();
+  for (const auto& [name, value] : doc.at("metrics").members()) {
+    r.metrics.emplace_back(name, value.as_number());
+  }
+  return r;
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+runner::Json to_json(const History& h) {
+  runner::Json doc = runner::Json::object();
+  doc.set("schema", "eccsim.perf_history/1");
+  doc.set("bench", h.bench);
+  runner::Json records = runner::Json::array();
+  for (const Record& r : h.records) records.push_back(record_to_json(r));
+  doc.set("records", records);
+  return doc;
+}
+
+History history_from_json(const runner::Json& doc) {
+  if (!doc.is_object()) {
+    throw std::runtime_error("perf history: not an object");
+  }
+  History h;
+  h.bench = doc.at("bench").as_string();
+  for (const auto& r : doc.at("records").items()) {
+    h.records.push_back(record_from_json(r));
+  }
+  return h;
+}
+
+History load_history(const std::string& path, const std::string& bench) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    History h;
+    h.bench = bench;
+    return h;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return history_from_json(runner::Json::parse(buf.str()));
+}
+
+bool append_record(const std::string& path, const std::string& bench,
+                   const Record& rec, std::size_t max_records) {
+  History h = load_history(path, bench);
+  h.records.push_back(rec);
+  if (h.records.size() > max_records) {
+    h.records.erase(h.records.begin(),
+                    h.records.end() -
+                        static_cast<std::ptrdiff_t>(max_records));
+  }
+  return atomic_write_file(path, to_json(h).dump(2) + "\n");
+}
+
+CompareResult compare(const History& h, double threshold,
+                      std::size_t window, std::size_t min_samples) {
+  CompareResult result;
+  if (h.records.empty()) return result;
+  const Record& current = h.records.back();
+
+  // Comparable baseline: prior records from the same host with the same
+  // smoke setting and thread count, newest first, at most `window`.
+  std::vector<const Record*> baseline;
+  for (std::size_t i = h.records.size() - 1; i-- > 0;) {
+    const Record& r = h.records[i];
+    if (r.host == current.host && r.smoke == current.smoke &&
+        r.threads == current.threads) {
+      baseline.push_back(&r);
+      if (baseline.size() >= window) break;
+    }
+  }
+  if (baseline.empty()) return result;
+  result.comparable = true;
+
+  for (const auto& [name, value] : current.metrics) {
+    std::vector<double> prior;
+    for (const Record* r : baseline) {
+      for (const auto& [pname, pvalue] : r->metrics) {
+        if (pname == name) {
+          prior.push_back(pvalue);
+          break;
+        }
+      }
+    }
+    if (prior.empty()) continue;  // new metric: nothing to regress against
+    MetricComparison mc;
+    mc.name = name;
+    mc.current = value;
+    mc.samples = prior.size();
+    mc.baseline = median(std::move(prior));
+    mc.ratio = mc.baseline > 0.0 ? mc.current / mc.baseline : 0.0;
+    mc.regressed = mc.baseline > 0.0 && mc.samples >= min_samples &&
+                   mc.ratio > 1.0 + threshold;
+    if (mc.regressed) result.regressed = true;
+    result.metrics.push_back(std::move(mc));
+  }
+  return result;
+}
+
+}  // namespace eccsim::obs::perf

@@ -1,0 +1,86 @@
+// Perf-trajectory tracking: append-only per-benchmark history files and
+// the rolling-median regression comparison that gates CI.
+//
+// `benchtool record` appends one Record per commit into
+// results/history/BENCH_<name>.json; `benchtool compare` checks the
+// newest record against the median of the previous `window` records taken
+// on the same host with the same smoke setting and thread count, and
+// fails when any metric's wall-clock regresses by more than the
+// threshold.  With no comparable prior records (first run, new CI host)
+// the comparison passes vacuously and says so.
+//
+// History documents are ordinary runner::Json so they diff cleanly in
+// review:
+//   { "schema": "eccsim.perf_history/1", "bench": "...",
+//     "records": [ { git_sha, timestamp_utc, host, threads, smoke,
+//                    metrics: { "<name>": seconds, ... } }, ... ] }
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eccsim::runner {
+class Json;
+}
+
+namespace eccsim::obs::perf {
+
+/// One benchmark invocation's results: named wall-clock metrics in
+/// seconds (smaller is better), plus the context needed to decide which
+/// later runs it is comparable with.
+struct Record {
+  std::string git_sha;
+  std::string timestamp_utc;
+  std::string host;
+  unsigned threads = 0;
+  bool smoke = false;
+  std::vector<std::pair<std::string, double>> metrics;  ///< name -> seconds
+};
+
+struct History {
+  std::string bench;
+  std::vector<Record> records;  ///< oldest first
+};
+
+runner::Json to_json(const History& h);
+History history_from_json(const runner::Json& doc);
+
+/// Loads a history file; returns an empty History named `bench` when the
+/// file does not exist.  Throws std::runtime_error on malformed content.
+History load_history(const std::string& path, const std::string& bench);
+
+/// Appends `rec` to the history at `path` (creating it), trimming to the
+/// newest `max_records`, and writes the file back atomically.
+bool append_record(const std::string& path, const std::string& bench,
+                   const Record& rec, std::size_t max_records = 200);
+
+/// One metric's comparison against its rolling-median baseline.
+struct MetricComparison {
+  std::string name;
+  double current = 0.0;       ///< newest record's value, seconds
+  double baseline = 0.0;      ///< median of comparable prior records
+  double ratio = 0.0;         ///< current / baseline
+  std::size_t samples = 0;    ///< prior records the median was taken over
+  bool regressed = false;     ///< ratio > 1 + threshold (and enough samples)
+};
+
+struct CompareResult {
+  bool comparable = false;  ///< false = no matching prior records (vacuous
+                            ///< pass); regressed is then always false
+  bool regressed = false;   ///< any metric over threshold
+  std::vector<MetricComparison> metrics;
+};
+
+/// Compares the newest record in `h` against the median of up to `window`
+/// prior records matching its host, smoke setting, and thread count.
+/// Metrics absent from the baseline records are skipped (new benchmarks
+/// don't fail the gate), and a metric only gates once its median covers at
+/// least `min_samples` priors -- a single-sample "median" is all noise on
+/// microsecond-scale benchmarks.  `threshold` is fractional: 0.15 = fail
+/// on a >15% slowdown.
+CompareResult compare(const History& h, double threshold = 0.15,
+                      std::size_t window = 10, std::size_t min_samples = 2);
+
+}  // namespace eccsim::obs::perf

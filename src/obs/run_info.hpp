@@ -1,0 +1,30 @@
+// Process/run identity helpers shared by the run manifest, the
+// perf-history records, and the runner's JSON metadata: git HEAD
+// discovery, host identity, and timestamps.
+//
+// Lives at the bottom of the observability stack (std + POSIX only) so
+// layers below the runner -- the Monte Carlo engine, the tools -- can
+// stamp provenance without linking the simulator.
+#pragma once
+
+#include <string>
+
+namespace eccsim::obs {
+
+/// HEAD commit of the enclosing git repository, found by walking up from
+/// the working directory (never shells out); "unknown" outside a repo.
+std::string git_head_sha();
+
+/// Network hostname of this machine ("unknown" when unavailable).
+std::string hostname();
+
+/// Logical CPU count visible to this process (>= 1).
+unsigned cpu_count();
+
+/// Current wall-clock time as ISO-8601 UTC ("2026-08-09T12:34:56Z").
+std::string utc_timestamp();
+
+/// Monotonic clock in seconds, for elapsed/throughput computations.
+double monotonic_seconds();
+
+}  // namespace eccsim::obs

@@ -2,14 +2,11 @@
 
 #include <chrono>
 #include <cstdlib>
-#include <cstring>
-#include <ctime>
-#include <filesystem>
-#include <fstream>
 #include <mutex>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "obs/run_info.hpp"
 #include "runner/thread_pool.hpp"
 #include "stats/scope.hpp"
 
@@ -20,51 +17,6 @@ namespace {
 bool env_flag(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && std::string(v) != "0";
-}
-
-/// Finds the repository's HEAD commit by walking up from `start` to the
-/// first directory containing `.git`, then resolving one level of
-/// `ref:` indirection (loose ref file, falling back to packed-refs).
-std::string discover_git_sha(const std::filesystem::path& start) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  for (fs::path dir = fs::absolute(start, ec); !dir.empty();
-       dir = dir.parent_path()) {
-    const fs::path git = dir / ".git";
-    if (!fs::exists(git, ec)) {
-      if (dir == dir.parent_path()) break;
-      continue;
-    }
-    std::ifstream head(git / "HEAD");
-    std::string line;
-    if (!head || !std::getline(head, line)) return "unknown";
-    constexpr const char* kRefPrefix = "ref: ";
-    if (line.rfind(kRefPrefix, 0) != 0) return line;  // detached HEAD
-    const std::string ref = line.substr(std::strlen(kRefPrefix));
-    std::ifstream loose(git / ref);
-    std::string sha;
-    if (loose && std::getline(loose, sha) && !sha.empty()) return sha;
-    // Ref not loose: scan packed-refs for "<sha> <ref>".
-    std::ifstream packed(git / "packed-refs");
-    while (packed && std::getline(packed, line)) {
-      if (line.size() > ref.size() + 41 && line[0] != '#' &&
-          line.compare(line.size() - ref.size(), ref.size(), ref) == 0 &&
-          line[40] == ' ') {
-        return line.substr(0, 40);
-      }
-    }
-    return "unknown";
-  }
-  return "unknown";
-}
-
-std::string utc_timestamp() {
-  const std::time_t now = std::time(nullptr);
-  std::tm tm{};
-  gmtime_r(&now, &tm);
-  char buf[32];
-  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
-  return buf;
 }
 
 }  // namespace
@@ -114,9 +66,9 @@ std::uint64_t substream_seed(std::uint64_t root_seed, std::uint64_t stream) {
 
 RunMetadata collect_metadata() {
   RunMetadata meta;
-  meta.git_sha = discover_git_sha(std::filesystem::current_path());
+  meta.git_sha = obs::git_head_sha();
   meta.threads = ThreadPool::default_thread_count();
-  meta.timestamp = utc_timestamp();
+  meta.timestamp = obs::utc_timestamp();
   meta.quick = env_flag("ECCSIM_QUICK");
   meta.smoke = env_flag("ECCSIM_SMOKE");
   return meta;

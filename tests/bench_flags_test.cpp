@@ -92,6 +92,30 @@ TEST(BenchFlagsDeathTest, BadEnvDramGenerationRejected) {
       ::testing::ExitedWithCode(2), "unknown DRAM generation 'lpddr4'");
 }
 
+TEST(BenchFlagsDeathTest, StatusFlagRequiresValue) {
+  EXPECT_EXIT(run_init({"--status"}), ::testing::ExitedWithCode(2),
+              "requires a value");
+}
+
+TEST(BenchFlagsDeathTest, TelemetryFlagsAccepted) {
+  // --status FILE and --progress parse and wire up the heartbeat env;
+  // init() returns normally.  Run in a forked child so the env mutation
+  // and manifest boot don't leak into other tests.
+  EXPECT_EXIT(
+      {
+        run_init({"--status", "/tmp/eccsim_flags_status.json", "--progress"});
+        const char* status = getenv("ECCSIM_STATUS");
+        const char* progress = getenv("ECCSIM_PROGRESS");
+        std::exit(status != nullptr &&
+                          std::string(status) ==
+                              "/tmp/eccsim_flags_status.json" &&
+                          progress != nullptr && std::string(progress) == "1"
+                      ? 0
+                      : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
 TEST(BenchFlagsDeathTest, TracePointValuesAccepted) {
   // Valid trace points parse without touching the rejection paths; init()
   // returns normally, so the child must run to completion (exit 0).

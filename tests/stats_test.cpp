@@ -314,6 +314,61 @@ TEST(Tracer, RateLimitDropsButCounts) {
   std::remove(path.c_str());
 }
 
+// A burst above the cap must drop from the tail only: the retained events
+// are exactly the first `limit` issued, in issue order, and the resulting
+// file is deterministic across identical runs.
+TEST(Tracer, RateLimitKeepsPrefixInIssueOrder) {
+  // The tracer retains name pointers until write(), so the burst uses
+  // stable storage that outlives each run.
+  static std::vector<std::string> names_storage;
+  if (names_storage.empty()) {
+    for (int i = 0; i < 20; ++i) names_storage.push_back("ev" + std::to_string(i));
+  }
+  const auto run_burst = [](const std::string& path) {
+    Tracer tr(path, 6);
+    tr.set_clock_ghz(1.0);
+    // Interleave duration and instant events with distinct names so issue
+    // order is recoverable from the file.
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const char* name = names_storage[i].c_str();
+      if (i % 2 == 0) {
+        tr.duration("dram", name, i * 100, i * 100 + 10, 0);
+      } else {
+        tr.instant("eccparity", name, i * 100, 1);
+      }
+    }
+    EXPECT_EQ(tr.recorded(), 6u);
+    EXPECT_EQ(tr.dropped(), 14u);
+    EXPECT_TRUE(tr.write());
+  };
+
+  const std::string path_a = ::testing::TempDir() + "/eccsim_trace_ord_a.json";
+  const std::string path_b = ::testing::TempDir() + "/eccsim_trace_ord_b.json";
+  run_burst(path_a);
+
+  const runner::Json doc = runner::Json::parse(slurp(path_a));
+  std::vector<std::string> names;
+  std::vector<double> timestamps;
+  for (const runner::Json& e : doc.at("traceEvents").items()) {
+    if (e.at("ph").as_string() == "M") continue;
+    names.push_back(e.at("name").as_string());
+    timestamps.push_back(e.at("ts").as_number());
+  }
+  // Exactly the first six issued events survive, in issue order.
+  const std::vector<std::string> want = {"ev0", "ev1", "ev2",
+                                         "ev3", "ev4", "ev5"};
+  EXPECT_EQ(names, want);
+  for (std::size_t i = 1; i < timestamps.size(); ++i) {
+    EXPECT_LE(timestamps[i - 1], timestamps[i]);
+  }
+
+  // Deterministic: an identical second run emits byte-identical output.
+  run_burst(path_b);
+  EXPECT_EQ(slurp(path_a), slurp(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Config parsing
 

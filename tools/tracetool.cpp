@@ -26,6 +26,11 @@
 #include <vector>
 
 #include "dram/spec.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/manifest.hpp"
+#include "obs/run_info.hpp"
+#include "runner/json.hpp"
+#include "stats/stats.hpp"
 #include "trace/workload.hpp"
 #include "tracefile/reader.hpp"
 #include "tracefile/replay.hpp"
@@ -49,7 +54,9 @@ int usage(FILE* out, int code) {
                "  info FILE            print header metadata and sizes\n"
                "  validate FILE...     verify framing and every CRC; exit 1\n"
                "                       on the first bad file\n"
-               "  stats FILE           read/write mix, footprint, gaps\n"
+               "  stats FILE [--json]  read/write mix, footprint, gaps;\n"
+               "                       --json emits stable dotted stat paths\n"
+               "                       (trace.ops, trace.write_fraction, ...)\n"
                "  head FILE [-n N]     print the first N records (default "
                "10)\n"
                "  list-workloads       names recordable with --workload\n"
@@ -123,7 +130,35 @@ int cmd_record(int argc, char** argv) {
   } else {
     targets.push_back(&trace::workload_by_name(workload));
   }
+
+  // Recording produces committed-quality artifacts, so it gets the full
+  // observability treatment: a run manifest plus heartbeat ticks.
+  obs::Heartbeat& hb = obs::Heartbeat::global();
+  hb.set_tool("tracetool");
+  obs::Manifest& man = obs::manifest();
+  man.tool = "tracetool";
+  for (int i = 1; i < argc; ++i) man.args.emplace_back(argv[i]);
+  man.git_sha = obs::git_head_sha();
+  man.seed_regime = seed ? "explicit" : "paper_sweep_seed(root=1)";
+  man.threads = 1;
+  man.host = obs::hostname();
+  man.host_cpus = obs::cpu_count();
+  man.started_utc = obs::utc_timestamp();
+  const std::string manifest_path = "results/tracetool.manifest.json";
+  obs::write_manifest(manifest_path, man);
+  const auto start = obs::monotonic_seconds();
+  const auto finish = [&](int rc) {
+    obs::note_exit_code(rc);
+    man.finished_utc = obs::utc_timestamp();
+    man.wall_seconds = obs::monotonic_seconds() - start;
+    man.peak_rss_bytes = stats::process_peak_rss_bytes();
+    if (man.status == "running") man.status = "completed";
+    obs::write_manifest(manifest_path, man);
+    return rc;
+  };
+
   const bool out_is_dir = all || out.empty() || out.back() == '/';
+  std::uint64_t done = 0;
   for (const trace::WorkloadDesc* w : targets) {
     std::string path = out;
     if (out_is_dir) {
@@ -138,13 +173,22 @@ int cmd_record(int argc, char** argv) {
     if (!res.ok) {
       std::fprintf(stderr, "tracetool record: %s failed post-write "
                    "validation: %s\n", path.c_str(), res.error.c_str());
-      return 1;
+      return finish(1);
+    }
+    ++done;
+    if (hb.enabled()) {
+      obs::Heartbeat::Tick t;
+      t.phase = "record";
+      t.done = done;
+      t.total = targets.size();
+      t.counters = {{"ops_recorded", static_cast<double>(ops)}};
+      hb.tick(t);
     }
     std::printf("recorded %-14s -> %s (%" PRIu64 " ops, %" PRIu64
                 " bytes, seed %" PRIu64 ")\n",
                 w->name.c_str(), path.c_str(), ops, res.file_bytes, s);
   }
-  return 0;
+  return finish(0);
 }
 
 int cmd_info(const std::string& path) {
@@ -169,9 +213,18 @@ int cmd_info(const std::string& path) {
 
 int cmd_validate(int argc, char** argv) {
   if (argc < 3) return usage(stderr, 2);
+  obs::Heartbeat& hb = obs::Heartbeat::global();
+  hb.set_tool("tracetool");
   int rc = 0;
   for (int i = 2; i < argc; ++i) {
     const auto res = tracefile::validate_file(argv[i]);
+    if (hb.enabled()) {
+      obs::Heartbeat::Tick t;
+      t.phase = "validate";
+      t.done = static_cast<std::uint64_t>(i - 1);
+      t.total = static_cast<std::uint64_t>(argc - 2);
+      hb.tick(t);
+    }
     if (res.ok) {
       std::printf("%s: OK (%s, %" PRIu64 " ops, %" PRIu64 " chunks, %"
                   PRIu64 " bytes)\n",
@@ -185,12 +238,30 @@ int cmd_validate(int argc, char** argv) {
   return rc;
 }
 
-int cmd_stats(const std::string& path) {
+int cmd_stats(int argc, char** argv) {
+  std::string path;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "tracetool stats: unknown flag '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) return usage(stderr, 2);
+
   tracefile::TraceReader reader(path);
   const tracefile::TraceMeta& m = reader.meta();
-  std::printf("%s: %s, workload %s, %u cores\n", path.c_str(),
-              tracefile::to_string(m.point).c_str(), m.workload.c_str(),
-              m.cores);
+  // Stable dotted stat paths (the --json contract; scripts key on these):
+  // pre-LLC traces emit trace.ops/.writes/.write_fraction/.unique_lines/
+  // .mean_gap plus trace.core<N>.ops; post-LLC traces emit trace.requests,
+  // trace.class.*, and the cycle span.
+  std::vector<std::pair<std::string, double>> stats;
   if (m.point == tracefile::CapturePoint::kPreLlc) {
     std::uint64_t ops = 0, writes = 0, gap_sum = 0;
     std::unordered_set<std::uint64_t> lines;
@@ -203,18 +274,33 @@ int cmd_stats(const std::string& path) {
       lines.insert(rec.op.line);
       ++per_core[rec.core];
     }
-    std::printf("ops:            %" PRIu64 "\n", ops);
-    std::printf("writes:         %" PRIu64 " (%.1f%%)\n", writes,
-                ops ? 100.0 * static_cast<double>(writes) /
-                          static_cast<double>(ops)
-                    : 0.0);
-    std::printf("unique lines:   %zu (%.1f MB touched)\n", lines.size(),
-                static_cast<double>(lines.size()) * 64.0 / (1024 * 1024));
-    std::printf("mean gap:       %.2f instructions\n",
-                ops ? static_cast<double>(gap_sum) / static_cast<double>(ops)
-                    : 0.0);
+    const double write_frac =
+        ops ? static_cast<double>(writes) / static_cast<double>(ops) : 0.0;
+    const double mean_gap =
+        ops ? static_cast<double>(gap_sum) / static_cast<double>(ops) : 0.0;
+    stats.emplace_back("trace.ops", static_cast<double>(ops));
+    stats.emplace_back("trace.writes", static_cast<double>(writes));
+    stats.emplace_back("trace.write_fraction", write_frac);
+    stats.emplace_back("trace.unique_lines",
+                       static_cast<double>(lines.size()));
+    stats.emplace_back("trace.mean_gap", mean_gap);
     for (unsigned c = 0; c < m.cores; ++c) {
-      std::printf("core %-2u ops:    %" PRIu64 "\n", c, per_core[c]);
+      stats.emplace_back("trace.core" + std::to_string(c) + ".ops",
+                         static_cast<double>(per_core[c]));
+    }
+    if (!json) {
+      std::printf("%s: %s, workload %s, %u cores\n", path.c_str(),
+                  tracefile::to_string(m.point).c_str(), m.workload.c_str(),
+                  m.cores);
+      std::printf("ops:            %" PRIu64 "\n", ops);
+      std::printf("writes:         %" PRIu64 " (%.1f%%)\n", writes,
+                  100.0 * write_frac);
+      std::printf("unique lines:   %zu (%.1f MB touched)\n", lines.size(),
+                  static_cast<double>(lines.size()) * 64.0 / (1024 * 1024));
+      std::printf("mean gap:       %.2f instructions\n", mean_gap);
+      for (unsigned c = 0; c < m.cores; ++c) {
+        std::printf("core %-2u ops:    %" PRIu64 "\n", c, per_core[c]);
+      }
     }
   } else {
     std::uint64_t ops = 0, writes = 0;
@@ -228,17 +314,51 @@ int cmd_stats(const std::string& path) {
       if (rec.is_write) ++writes;
       ++by_class[static_cast<unsigned>(rec.line_class) & 3u];
     }
-    std::printf("requests:       %" PRIu64 "\n", ops);
-    std::printf("writes:         %" PRIu64 " (%.1f%%)\n", writes,
-                ops ? 100.0 * static_cast<double>(writes) /
-                          static_cast<double>(ops)
-                    : 0.0);
-    std::printf("data:           %" PRIu64 "\n", by_class[0]);
-    std::printf("ecc parity:     %" PRIu64 "\n", by_class[1]);
-    std::printf("ecc correction: %" PRIu64 "\n", by_class[2]);
-    std::printf("ecc other:      %" PRIu64 "\n", by_class[3]);
-    std::printf("cycle span:     %" PRIu64 "..%" PRIu64 "\n", first_cycle,
-                last_cycle);
+    const double write_frac =
+        ops ? static_cast<double>(writes) / static_cast<double>(ops) : 0.0;
+    stats.emplace_back("trace.requests", static_cast<double>(ops));
+    stats.emplace_back("trace.writes", static_cast<double>(writes));
+    stats.emplace_back("trace.write_fraction", write_frac);
+    stats.emplace_back("trace.class.data", static_cast<double>(by_class[0]));
+    stats.emplace_back("trace.class.ecc_parity",
+                       static_cast<double>(by_class[1]));
+    stats.emplace_back("trace.class.ecc_correction",
+                       static_cast<double>(by_class[2]));
+    stats.emplace_back("trace.class.other",
+                       static_cast<double>(by_class[3]));
+    stats.emplace_back("trace.cycle_first",
+                       static_cast<double>(first_cycle));
+    stats.emplace_back("trace.cycle_last", static_cast<double>(last_cycle));
+    if (!json) {
+      std::printf("%s: %s, workload %s, %u cores\n", path.c_str(),
+                  tracefile::to_string(m.point).c_str(), m.workload.c_str(),
+                  m.cores);
+      std::printf("requests:       %" PRIu64 "\n", ops);
+      std::printf("writes:         %" PRIu64 " (%.1f%%)\n", writes,
+                  100.0 * write_frac);
+      std::printf("data:           %" PRIu64 "\n", by_class[0]);
+      std::printf("ecc parity:     %" PRIu64 "\n", by_class[1]);
+      std::printf("ecc correction: %" PRIu64 "\n", by_class[2]);
+      std::printf("ecc other:      %" PRIu64 "\n", by_class[3]);
+      std::printf("cycle span:     %" PRIu64 "..%" PRIu64 "\n", first_cycle,
+                  last_cycle);
+    }
+  }
+  if (json) {
+    runner::Json doc = runner::Json::object();
+    doc.set("schema", "eccsim.tracestats/1");
+    doc.set("file", path);
+    runner::Json meta = runner::Json::object();
+    meta.set("point", tracefile::to_string(m.point));
+    meta.set("workload", m.workload);
+    meta.set("cores", static_cast<std::uint64_t>(m.cores));
+    // As a string: 64-bit seeds do not survive the JSON double round-trip.
+    meta.set("seed", std::to_string(m.seed));
+    doc.set("meta", meta);
+    runner::Json flat = runner::Json::object();
+    for (const auto& [key, value] : stats) flat.set(key, value);
+    doc.set("stats", flat);
+    std::printf("%s\n", doc.dump(2).c_str());
   }
   return 0;
 }
@@ -398,7 +518,7 @@ int main(int argc, char** argv) {
     if (cmd == "record") return cmd_record(argc, argv);
     if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
     if (cmd == "validate") return cmd_validate(argc, argv);
-    if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
+    if (cmd == "stats") return cmd_stats(argc, argv);
     if (cmd == "head") return cmd_head(argc, argv);
     if (cmd == "list-workloads") {
       print_workloads();
