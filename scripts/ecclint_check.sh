@@ -1,0 +1,27 @@
+#!/bin/sh
+# ecclint gate: build (if needed) and self-run the repo's static-analysis
+# suite against the committed baseline.
+#
+# Usage: ./scripts/ecclint_check.sh [path-to-ecclint]
+#   default binary: build/tools/ecclint/ecclint
+#
+# Exit 0 means every finding in the tree is either fixed, suppressed at
+# the site with a reason, or grandfathered in tools/ecclint/baseline.txt
+# -- and every baseline entry still fires (the ratchet: stale entries
+# must be deleted, so the baseline only shrinks).  See
+# docs/STATIC_ANALYSIS.md for the rule catalog and workflow.
+set -e
+
+tool=${1:-build/tools/ecclint/ecclint}
+cd "$(dirname "$0")/.."
+
+if [ ! -x "$tool" ]; then
+  echo "[ecclint] $tool missing; building it" >&2
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$(nproc)" --target ecclint >/dev/null
+fi
+
+echo "[ecclint] self-run over src/ bench/ tools/" >&2
+"$tool" --root . --baseline tools/ecclint/baseline.txt
+
+echo "[ecclint] clean" >&2

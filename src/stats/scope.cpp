@@ -1,10 +1,13 @@
 #include "stats/scope.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace eccsim::stats {
 
@@ -51,12 +54,19 @@ void Profiler::record(const char* name, double seconds) {
 }
 
 std::vector<std::pair<std::string, ScopeTotals>> Profiler::snapshot() {
+  // Accumulate in sorted site order so repeated snapshots of the same
+  // samples sum the doubles in one deterministic order regardless of the
+  // per-thread hash layout.
   std::map<std::string, ScopeTotals> merged;
   {
     std::lock_guard<std::mutex> lock(buffers_mu());
     for (const auto& buf : buffers()) {
       std::lock_guard<std::mutex> inner(buf->mu);
-      for (const auto& [name, totals] : buf->by_site) {
+      std::vector<std::pair<std::string, ScopeTotals>> sites(
+          buf->by_site.begin(), buf->by_site.end());
+      std::sort(sites.begin(), sites.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [name, totals] : sites) {
         ScopeTotals& t = merged[name];
         t.calls += totals.calls;
         t.seconds += totals.seconds;

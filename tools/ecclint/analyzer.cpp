@@ -1,0 +1,186 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace eccsim::ecclint {
+
+std::string Finding::str() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+std::string Finding::key() const {
+  return file + " [" + rule + "] " + message;
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"EL000", "ecclint:allow suppression without a reason string"},
+      {"EL001",
+       "iteration over an unordered container in a result/merge/emit path"},
+      {"EL002",
+       "wall clock or ambient entropy (rand/random_device/time()/"
+       "system_clock) outside the observability allowlist"},
+      {"EL003",
+       "floating-point accumulation inside unordered-container iteration "
+       "(merge-order hazard)"},
+      {"EL004",
+       "raw std::mt19937 construction not seeded via "
+       "runner::substream_seed / trace::paper_sweep_seed"},
+      {"EL101",
+       "#include edge not declared in the module DAG "
+       "(tools/ecclint/layers.txt)"},
+      {"EL102", "cycle in the declared module DAG"},
+      {"EL201",
+       "schema id literal not matching eccsim.<name>/<version>"},
+      {"EL202", "schema id used in code but absent from "
+                "docs/OBSERVABILITY.md"},
+      {"EL203", "one schema name bound to two different versions"},
+      {"EL204",
+       "stats dotted path registered under two different stat kinds"},
+      {"EL205", "flag string literal missing from the binary's --help text"},
+  };
+  return kRules;
+}
+
+namespace {
+
+/// Drops findings covered by a suppression: same rule, on the
+/// suppression's line (trailing comment) or the line below (comment on
+/// its own line).  Reasonless suppressions silence nothing and are
+/// themselves reported as EL000.
+std::vector<Finding> apply_suppressions(const LexedFile& file,
+                                        std::vector<Finding> findings) {
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    for (const Suppression& s : file.suppressions) {
+      if (s.rule == f.rule && !s.reason.empty() &&
+          (f.line == s.line || f.line == s.line + 1)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  for (const Suppression& s : file.suppressions) {
+    if (s.reason.empty()) {
+      kept.push_back(Finding{file.path, s.line, "EL000",
+                             "ecclint:allow(" + s.rule +
+                                 ") must carry a reason string"});
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<Finding> analyze(const std::vector<SourceFile>& files,
+                             const Config& cfg) {
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& f : files) lexed.push_back(lex(f.path, f.content));
+  std::sort(lexed.begin(), lexed.end(),
+            [](const LexedFile& a, const LexedFile& b) {
+              return a.path < b.path;
+            });
+
+  std::vector<Finding> out;
+  for (const LexedFile& file : lexed) {
+    std::vector<Finding> per_file;
+    check_determinism(file, cfg, per_file);
+    for (Finding& f : apply_suppressions(file, std::move(per_file))) {
+      out.push_back(std::move(f));
+    }
+  }
+
+  // Cross-file passes.  Suppressions still apply to findings anchored in
+  // a source file; findings anchored in layers.txt itself cannot be
+  // suppressed (fix the DAG instead).
+  std::map<std::string, const LexedFile*> by_path;
+  for (const LexedFile& file : lexed) by_path.emplace(file.path, &file);
+  std::vector<Finding> cross;
+  check_layering(lexed, cfg, cross);
+  check_schema(lexed, cfg, cross);
+  for (Finding& f : cross) {
+    const auto it = by_path.find(f.file);
+    bool suppressed = false;
+    if (it != by_path.end()) {
+      for (const Suppression& s : it->second->suppressions) {
+        if (s.rule == f.rule && !s.reason.empty() &&
+            (f.line == s.line || f.line == s.line + 1)) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+BaselineOutcome apply_baseline(const std::vector<Finding>& findings,
+                               const std::string& baseline_text) {
+  std::set<std::string> baseline;
+  std::istringstream is(baseline_text);
+  std::string line;
+  while (std::getline(is, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    std::size_t b = 0;
+    while (b < line.size() && line[b] == ' ') ++b;
+    line = line.substr(b);
+    if (line.empty() || line[0] == '#') continue;
+    baseline.insert(line);
+  }
+
+  BaselineOutcome outcome;
+  std::set<std::string> matched;
+  for (const Finding& f : findings) {
+    if (baseline.count(f.key()) != 0) {
+      matched.insert(f.key());
+    } else {
+      outcome.fresh.push_back(f);
+    }
+  }
+  for (const std::string& entry : baseline) {
+    if (matched.count(entry) == 0) outcome.stale.push_back(entry);
+  }
+  return outcome;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "# ecclint baseline: grandfathered findings "
+        "(docs/STATIC_ANALYSIS.md).\n"
+     << "# Every entry must carry a '#' justification line above it.  CI\n"
+     << "# fails on findings missing from this file AND on entries that\n"
+     << "# no longer fire, so the baseline can only shrink.\n";
+  std::set<std::string> seen;
+  for (const Finding& f : findings) {
+    if (seen.insert(f.key()).second) {
+      os << "# TODO: justify or fix.\n" << f.key() << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace eccsim::ecclint

@@ -1,0 +1,90 @@
+// ecclint's driver: runs the rule passes over a set of sources, applies
+// `// ecclint:allow(EL###)` suppressions, and implements the baseline
+// ratchet (docs/STATIC_ANALYSIS.md).
+//
+// Everything here operates on in-memory sources so tests can feed inline
+// fixtures; main.cpp is the only place that touches the filesystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace eccsim::ecclint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;     ///< "EL###"
+  std::string message;
+
+  /// The machine-readable output format: `file:line: [EL###] message`.
+  std::string str() const;
+  /// The baseline identity: `file [EL###] message` -- no line number, so
+  /// unrelated edits above a grandfathered finding do not churn the
+  /// baseline.
+  std::string key() const;
+};
+
+struct SourceFile {
+  std::string path;  ///< repo-relative, '/'-separated
+  std::string content;
+};
+
+struct Config {
+  /// Contents of tools/ecclint/layers.txt; empty disables the layering
+  /// family (EL101/EL102).
+  std::string layers_text;
+  /// Reported as the file of layers.txt's own findings (bad syntax,
+  /// declared-DAG cycles).
+  std::string layers_path = "tools/ecclint/layers.txt";
+  /// Contents of docs/OBSERVABILITY.md; every schema id used in code must
+  /// appear here (EL202).  Empty disables only EL202.
+  std::string schema_doc;
+  std::string schema_doc_path = "docs/OBSERVABILITY.md";
+  /// Paths (prefix match) where EL002's wall-clock/entropy ban does not
+  /// apply: the observability layer timestamps runs by design, and
+  /// bench_common times sweeps for the profile report.
+  std::vector<std::string> clock_allow_prefixes = {"src/obs/",
+                                                   "bench/bench_common"};
+};
+
+/// Lexes every file, runs all rule passes, applies suppressions, and
+/// returns findings sorted by (file, line, rule, message).
+std::vector<Finding> analyze(const std::vector<SourceFile>& files,
+                             const Config& cfg);
+
+/// The ratchet: `fresh` findings are not covered by the baseline and must
+/// fail CI; `stale` baseline entries no longer fire and must be deleted
+/// (a fixed finding may never stay grandfathered).
+struct BaselineOutcome {
+  std::vector<Finding> fresh;
+  std::vector<std::string> stale;
+};
+
+/// Baseline format: one Finding::key() per line; '#' comments (used for
+/// the mandatory written justification) and blank lines are ignored.
+BaselineOutcome apply_baseline(const std::vector<Finding>& findings,
+                               const std::string& baseline_text);
+
+/// Renders findings as a baseline file body (for --update-baseline).
+std::string render_baseline(const std::vector<Finding>& findings);
+
+/// One catalog entry per rule; --list-rules prints these.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+const std::vector<RuleInfo>& rule_catalog();
+
+// --- rule passes (internal; exposed for focused unit tests) ---------------
+
+void check_determinism(const LexedFile& file, const Config& cfg,
+                       std::vector<Finding>& out);
+void check_layering(const std::vector<LexedFile>& files, const Config& cfg,
+                    std::vector<Finding>& out);
+void check_schema(const std::vector<LexedFile>& files, const Config& cfg,
+                  std::vector<Finding>& out);
+
+}  // namespace eccsim::ecclint

@@ -1,0 +1,368 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace eccsim::ecclint {
+
+namespace {
+
+/// Cursor over the raw bytes that makes backslash-newline splices
+/// invisible to the token scanners (phase-2 of translation), while
+/// keeping an accurate 1-based line count.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) { skip_splices(); }
+
+  bool eof() const { return i_ >= s_.size(); }
+  char peek() const { return eof() ? '\0' : s_[i_]; }
+  char peek2() const { return i_ + 1 < s_.size() ? s_[i_ + 1] : '\0'; }
+  int line() const { return line_; }
+
+  void advance() {
+    if (eof()) return;
+    if (s_[i_] == '\n') ++line_;
+    ++i_;
+    skip_splices();
+  }
+
+ private:
+  void skip_splices() {
+    while (i_ + 1 < s_.size() && s_[i_] == '\\') {
+      if (s_[i_ + 1] == '\n') {
+        i_ += 2;
+        ++line_;
+      } else if (i_ + 2 < s_.size() && s_[i_ + 1] == '\r' &&
+                 s_[i_ + 2] == '\n') {
+        i_ += 3;
+        ++line_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Multi-character punctuators the rule passes care about, longest first.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "^=", "&=", "|=", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",
+};
+
+class Lexer {
+ public:
+  Lexer(const std::string& path, const std::string& content)
+      : cur_(content) {
+    out_.path = path;
+  }
+
+  LexedFile run() {
+    while (!cur_.eof()) {
+      const char c = cur_.peek();
+      if (c == '\n') {
+        at_line_start_ = true;
+        cur_.advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        cur_.advance();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (disabled_depth_ > 0) {  // inside #if 0: skip to the next line
+        while (!cur_.eof() && cur_.peek() != '\n') cur_.advance();
+        continue;
+      }
+      if (c == '/' && cur_.peek2() == '/') {
+        line_comment();
+      } else if (c == '/' && cur_.peek2() == '*') {
+        block_comment();
+      } else if (c == '"') {
+        string_literal();
+      } else if (c == '\'') {
+        char_literal();
+      } else if (ident_start(c)) {
+        identifier();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && std::isdigit(
+                                  static_cast<unsigned char>(cur_.peek2())))) {
+        number();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(Tok kind, std::string text, int line) {
+    if (disabled_depth_ == 0) {
+      out_.tokens.push_back(Token{kind, std::move(text), line});
+    }
+  }
+
+  /// Consumes the rest of the (spliced) logical line, returning its text.
+  std::string rest_of_line() {
+    std::string text;
+    while (!cur_.eof() && cur_.peek() != '\n') {
+      text.push_back(cur_.peek());
+      cur_.advance();
+    }
+    return text;
+  }
+
+  void directive() {
+    const int line = cur_.line();
+    cur_.advance();  // '#'
+    while (!cur_.eof() && (cur_.peek() == ' ' || cur_.peek() == '\t')) {
+      cur_.advance();
+    }
+    std::string name;
+    while (!cur_.eof() && ident_char(cur_.peek())) {
+      name.push_back(cur_.peek());
+      cur_.advance();
+    }
+    const std::string rest = trim(rest_of_line());
+    if (name == "if") {
+      if (disabled_depth_ > 0) {
+        ++disabled_depth_;
+      } else if (rest == "0") {
+        disabled_depth_ = 1;
+      }
+    } else if (name == "ifdef" || name == "ifndef") {
+      if (disabled_depth_ > 0) ++disabled_depth_;
+    } else if (name == "elif" || name == "else") {
+      // The branch after a disabled `#if 0` is compiled; deeper nesting
+      // inside the disabled region stays disabled.
+      if (disabled_depth_ == 1) disabled_depth_ = 0;
+    } else if (name == "endif") {
+      if (disabled_depth_ > 0) --disabled_depth_;
+    } else if (name == "include" && disabled_depth_ == 0) {
+      parse_include(rest, line);
+    }
+    at_line_start_ = true;
+  }
+
+  void parse_include(const std::string& rest, int line) {
+    if (rest.empty()) return;
+    const char open = rest[0];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return;  // computed include: ignore
+    const std::size_t end = rest.find(close, 1);
+    if (end == std::string::npos) return;
+    out_.includes.push_back(
+        Include{rest.substr(1, end - 1), line, open == '<'});
+  }
+
+  void scan_suppression(const std::string& text, int line) {
+    static const std::string kTag = "ecclint:allow(";
+    const std::size_t at = text.find(kTag);
+    if (at == std::string::npos) return;
+    const std::size_t close = text.find(')', at + kTag.size());
+    if (close == std::string::npos) return;
+    std::string reason = text.substr(close + 1);
+    // Strip a block comment's trailer and leading ':'/'-' separators.
+    if (const std::size_t tail = reason.find("*/");
+        tail != std::string::npos) {
+      reason = reason.substr(0, tail);
+    }
+    std::size_t b = 0;
+    while (b < reason.size() &&
+           (reason[b] == ':' || reason[b] == '-' || reason[b] == ' ')) {
+      ++b;
+    }
+    out_.suppressions.push_back(Suppression{
+        line, text.substr(at + kTag.size(), close - at - kTag.size()),
+        trim(reason.substr(b))});
+  }
+
+  void line_comment() {
+    const int line = cur_.line();
+    scan_suppression(rest_of_line(), line);
+  }
+
+  void block_comment() {
+    const int line = cur_.line();
+    std::string text;
+    cur_.advance();  // '/'
+    cur_.advance();  // '*'
+    while (!cur_.eof()) {
+      if (cur_.peek() == '*' && cur_.peek2() == '/') {
+        cur_.advance();
+        cur_.advance();
+        break;
+      }
+      text.push_back(cur_.peek());
+      cur_.advance();
+    }
+    scan_suppression(text, line);
+  }
+
+  void string_literal() {
+    const int line = cur_.line();
+    std::string text;
+    cur_.advance();  // opening quote
+    while (!cur_.eof() && cur_.peek() != '"' && cur_.peek() != '\n') {
+      if (cur_.peek() == '\\') {
+        text.push_back(cur_.peek());
+        cur_.advance();
+        if (cur_.eof()) break;
+      }
+      text.push_back(cur_.peek());
+      cur_.advance();
+    }
+    if (!cur_.eof() && cur_.peek() == '"') cur_.advance();
+    emit(Tok::kString, std::move(text), line);
+  }
+
+  void raw_string_literal() {
+    const int line = cur_.line();
+    cur_.advance();  // opening quote
+    std::string delim;
+    while (!cur_.eof() && cur_.peek() != '(') {
+      delim.push_back(cur_.peek());
+      cur_.advance();
+    }
+    cur_.advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string text, window;
+    while (!cur_.eof()) {
+      text.push_back(cur_.peek());
+      cur_.advance();
+      if (text.size() >= closer.size() &&
+          text.compare(text.size() - closer.size(), closer.size(),
+                       closer) == 0) {
+        text.resize(text.size() - closer.size());
+        break;
+      }
+    }
+    emit(Tok::kString, std::move(text), line);
+  }
+
+  void char_literal() {
+    const int line = cur_.line();
+    std::string text;
+    cur_.advance();  // opening quote
+    while (!cur_.eof() && cur_.peek() != '\'' && cur_.peek() != '\n') {
+      if (cur_.peek() == '\\') {
+        text.push_back(cur_.peek());
+        cur_.advance();
+        if (cur_.eof()) break;
+      }
+      text.push_back(cur_.peek());
+      cur_.advance();
+    }
+    if (!cur_.eof() && cur_.peek() == '\'') cur_.advance();
+    emit(Tok::kChar, std::move(text), line);
+  }
+
+  void identifier() {
+    const int line = cur_.line();
+    std::string text;
+    while (!cur_.eof() && ident_char(cur_.peek())) {
+      text.push_back(cur_.peek());
+      cur_.advance();
+    }
+    if (cur_.peek() == '"') {
+      // String-literal prefix rather than an identifier.
+      if (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+          text == "LR") {
+        raw_string_literal();
+        return;
+      }
+      if (text == "u8" || text == "u" || text == "U" || text == "L") {
+        string_literal();
+        return;
+      }
+    }
+    if (cur_.peek() == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      char_literal();
+      return;
+    }
+    emit(Tok::kIdent, std::move(text), line);
+  }
+
+  void number() {
+    const int line = cur_.line();
+    std::string text;
+    while (!cur_.eof()) {
+      const char c = cur_.peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '\'') {
+        text.push_back(c);
+        cur_.advance();
+      } else if ((c == '+' || c == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text.push_back(c);
+          cur_.advance();
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    emit(Tok::kNumber, std::move(text), line);
+  }
+
+  void punct() {
+    const int line = cur_.line();
+    for (const char* p : kPuncts) {
+      std::string s(p);
+      bool match = true;
+      Cursor probe = cur_;
+      for (char want : s) {
+        if (probe.peek() != want) {
+          match = false;
+          break;
+        }
+        probe.advance();
+      }
+      if (match) {
+        for (std::size_t k = 0; k < s.size(); ++k) cur_.advance();
+        emit(Tok::kPunct, std::move(s), line);
+        return;
+      }
+    }
+    emit(Tok::kPunct, std::string(1, cur_.peek()), line);
+    cur_.advance();
+  }
+
+  Cursor cur_;
+  LexedFile out_;
+  bool at_line_start_ = true;
+  int disabled_depth_ = 0;  // nesting inside a `#if 0` region
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& path, const std::string& content) {
+  return Lexer(path, content).run();
+}
+
+}  // namespace eccsim::ecclint

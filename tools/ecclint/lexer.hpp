@@ -1,0 +1,64 @@
+// ecclint's C++ lexer: comments and string literals stripped into typed
+// tokens, #include directives and `// ecclint:allow(EL###)` suppressions
+// extracted on the side.
+//
+// This is not a compiler front end.  It understands exactly as much C++
+// as the rule passes need to avoid false positives from text inside
+// comments and strings:
+//   - // and /* */ comments (including line-spliced // comments);
+//   - ordinary, prefixed (u8/u/U/L), and raw string literals
+//     (R"delim(...)delim"), character literals, digit separators;
+//   - backslash-newline splices anywhere (handled before tokenization,
+//     as the real phases of translation do);
+//   - preprocessor directives: #include targets are captured, `#if 0`
+//     regions are skipped entirely (so a disabled #include contributes no
+//     edge), and other directives are consumed without emitting tokens.
+// Everything else becomes Ident / Number / Punct tokens with 1-based
+// line numbers, which is all the rule passes operate on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eccsim::ecclint {
+
+enum class Tok : unsigned char {
+  kIdent,
+  kNumber,
+  kString,  ///< text is the literal's *contents* (escapes left verbatim)
+  kChar,
+  kPunct,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One #include directive in an enabled preprocessor region.
+struct Include {
+  std::string path;  ///< the text between the quotes / angle brackets
+  int line = 0;
+  bool angled = false;  ///< <...> (system) rather than "..." (project)
+};
+
+/// One `// ecclint:allow(EL###) reason` comment.  A suppression silences
+/// findings of that rule on its own line and the line below; an empty
+/// reason is itself reported (EL000) and silences nothing.
+struct Suppression {
+  int line = 0;
+  std::string rule;    ///< e.g. "EL001"
+  std::string reason;  ///< trimmed text after the closing paren
+};
+
+struct LexedFile {
+  std::string path;  ///< repo-relative, '/'-separated
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  std::vector<Suppression> suppressions;
+};
+
+LexedFile lex(const std::string& path, const std::string& content);
+
+}  // namespace eccsim::ecclint

@@ -1,0 +1,225 @@
+// ecclint: the repo's own static-analysis gate (docs/STATIC_ANALYSIS.md).
+//
+// Scans src/, bench/, and tools/ for determinism hazards (EL0xx),
+// undeclared module-DAG edges (EL1xx), and telemetry-schema drift
+// (EL2xx), then applies the baseline ratchet: exit 1 on any finding not
+// grandfathered in the baseline AND on any baseline entry that no longer
+// fires.  Dependency-free by design, like everything else in this tree.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace fs = std::filesystem;
+using namespace eccsim::ecclint;
+
+namespace {
+
+int usage(std::FILE* out, int code) {
+  std::fprintf(
+      out,
+      "usage: ecclint [options] [file...]\n"
+      "\n"
+      "Project-specific static analysis: determinism, layering, and\n"
+      "telemetry-schema rules (docs/STATIC_ANALYSIS.md).  With no file\n"
+      "arguments, scans every .cpp/.hpp under ROOT/{src,bench,tools}.\n"
+      "\n"
+      "options:\n"
+      "  --root DIR          repository root (default: current directory;\n"
+      "                      must contain src/)\n"
+      "  --baseline FILE     grandfathered-finding baseline; exit 1 on\n"
+      "                      findings missing from it or entries that no\n"
+      "                      longer fire (default:\n"
+      "                      ROOT/tools/ecclint/baseline.txt if present)\n"
+      "  --update-baseline   rewrite the baseline file from the current\n"
+      "                      findings and exit 0\n"
+      "  --layers FILE       module DAG (default:\n"
+      "                      ROOT/tools/ecclint/layers.txt)\n"
+      "  --docs FILE         schema-id documentation file (default:\n"
+      "                      ROOT/docs/OBSERVABILITY.md)\n"
+      "  --list-rules        print the rule catalog and exit\n"
+      "  --help, -h          this text\n"
+      "\n"
+      "exit status: 0 clean, 1 new findings or stale baseline entries,\n"
+      "2 usage or I/O error.\n");
+  return code;
+}
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Path relative to root with '/' separators (the form rules and the
+/// baseline use), or the path unchanged when it is not under root.
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  const fs::path use = (ec || rel.empty() ||
+                        rel.native().rfind("..", 0) == 0)
+                           ? p
+                           : rel;
+  return use.generic_string();
+}
+
+bool source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path, layers_path, docs_path;
+  bool update_baseline = false;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (arg != flag) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ecclint: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if ((v = value("--root")) != nullptr) {
+      root = v;
+    } else if ((v = value("--baseline")) != nullptr) {
+      baseline_path = v;
+    } else if ((v = value("--layers")) != nullptr) {
+      layers_path = v;
+    } else if ((v = value("--docs")) != nullptr) {
+      docs_path = v;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_catalog()) {
+        std::printf("%s  %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(stdout, 0);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "ecclint: unknown flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path / "src")) {
+    std::fprintf(stderr, "ecclint: '%s' has no src/ directory (use --root)\n",
+                 root.c_str());
+    return 2;
+  }
+  if (layers_path.empty()) {
+    layers_path = (root_path / "tools/ecclint/layers.txt").string();
+  }
+  if (docs_path.empty()) {
+    docs_path = (root_path / "docs/OBSERVABILITY.md").string();
+  }
+  if (baseline_path.empty()) {
+    const fs::path candidate = root_path / "tools/ecclint/baseline.txt";
+    if (fs::exists(candidate)) baseline_path = candidate.string();
+  }
+
+  // --- collect sources -----------------------------------------------------
+  std::vector<fs::path> paths;
+  if (!explicit_files.empty()) {
+    for (const std::string& f : explicit_files) paths.emplace_back(f);
+  } else {
+    for (const char* dir : {"src", "bench", "tools"}) {
+      const fs::path base = root_path / dir;
+      if (!fs::is_directory(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && source_extension(entry.path())) {
+          paths.push_back(entry.path());
+        }
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<SourceFile> files;
+  for (const fs::path& p : paths) {
+    SourceFile f;
+    f.path = rel_path(root_path, p);
+    if (!read_file(p, &f.content)) {
+      std::fprintf(stderr, "ecclint: cannot read %s\n", p.string().c_str());
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  Config cfg;
+  if (!read_file(layers_path, &cfg.layers_text)) {
+    std::fprintf(stderr, "ecclint: cannot read layers file %s\n",
+                 layers_path.c_str());
+    return 2;
+  }
+  cfg.layers_path = rel_path(root_path, layers_path);
+  read_file(docs_path, &cfg.schema_doc);  // empty doc only disables EL202
+  cfg.schema_doc_path = rel_path(root_path, docs_path);
+
+  const std::vector<Finding> findings = analyze(files, cfg);
+
+  if (update_baseline) {
+    if (baseline_path.empty()) {
+      baseline_path = (root_path / "tools/ecclint/baseline.txt").string();
+    }
+    std::ofstream out(baseline_path, std::ios::binary);
+    out << render_baseline(findings);
+    if (!out) {
+      std::fprintf(stderr, "ecclint: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "ecclint: wrote %zu baseline entr%s to %s\n",
+                 findings.size(), findings.size() == 1 ? "y" : "ies",
+                 baseline_path.c_str());
+    return 0;
+  }
+
+  std::string baseline_text;
+  if (!baseline_path.empty() && !read_file(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "ecclint: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  const BaselineOutcome outcome = apply_baseline(findings, baseline_text);
+
+  for (const Finding& f : outcome.fresh) {
+    std::printf("%s\n", f.str().c_str());
+  }
+  for (const std::string& entry : outcome.stale) {
+    std::printf("%s: [stale-baseline] entry no longer fires, delete it: "
+                "%s\n",
+                rel_path(root_path, baseline_path).c_str(), entry.c_str());
+  }
+  const std::size_t grandfathered =
+      findings.size() - outcome.fresh.size();
+  std::fprintf(stderr,
+               "ecclint: %zu file%s, %zu finding%s (%zu grandfathered), "
+               "%zu stale baseline entr%s\n",
+               files.size(), files.size() == 1 ? "" : "s",
+               outcome.fresh.size(), outcome.fresh.size() == 1 ? "" : "s",
+               grandfathered, outcome.stale.size(),
+               outcome.stale.size() == 1 ? "y" : "ies");
+  return outcome.fresh.empty() && outcome.stale.empty() ? 0 : 1;
+}

@@ -1,0 +1,344 @@
+// Determinism rules (EL001-EL004): the static side of the repo's
+// bit-identical-at-any-thread-count contract.  These are token-level
+// heuristics, deliberately tuned to fire only on patterns this codebase
+// treats as hazards; docs/STATIC_ANALYSIS.md documents each rule's
+// blind spots.
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace eccsim::ecclint {
+
+namespace {
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string> kFloatTypes = {"double", "float"};
+
+const std::set<std::string> kKeywordsBeforeParen = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch",
+    "alignof", "decltype", "static_assert", "throw", "new", "delete"};
+
+/// Function names whose bodies count as result/merge/emit paths for
+/// EL001: anything that merges per-worker state or serializes results,
+/// where iteration order becomes output order.
+const char* const kEmitPathStems[] = {
+    "merge",    "emit",   "to_json", "write",     "finalize", "snapshot",
+    "report",   "collect", "result",  "serialize", "dump",
+};
+
+bool is_emit_path(const std::string& name) {
+  std::string lower;
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (const char* stem : kEmitPathStems) {
+    if (lower.find(stem) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool has_prefix(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool is(const Token& t, Tok kind, const char* text) {
+  return t.kind == kind && t.text == text;
+}
+
+/// Index of the matching closer for the opener at `open`, or tokens.size().
+/// `>>` closes two template levels when matching angle brackets.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          const char* opener, const char* closer) {
+  int depth = 0;
+  const bool angle = opener[0] == '<';
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kPunct) continue;
+    if (t.text == opener) {
+      ++depth;
+    } else if (t.text == closer) {
+      if (--depth == 0) return i;
+    } else if (angle && t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    } else if (angle && (t.text == ";" || t.text == "{")) {
+      return toks.size();  // not a template argument list after all
+    }
+  }
+  return toks.size();
+}
+
+/// Collects names declared with a given set of type keywords anywhere in
+/// the file: `TYPE<...> [&*const] NAME` or `TYPE [&*const] NAME`.  Coarse
+/// (file-wide, no scoping) but members, locals, and parameters all match.
+std::set<std::string> declared_names(const std::vector<Token>& toks,
+                                     const std::set<std::string>& types,
+                                     bool templated) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || types.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (templated) {
+      if (j >= toks.size() || !is(toks[j], Tok::kPunct, "<")) continue;
+      j = match_forward(toks, j, "<", ">");
+      if (j >= toks.size()) continue;
+      ++j;
+    }
+    while (j < toks.size() &&
+           (is(toks[j], Tok::kPunct, "&") || is(toks[j], Tok::kPunct, "*") ||
+            (toks[j].kind == Tok::kIdent && toks[j].text == "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Tok::kIdent) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+/// One lexical region (token index range) plus what opened it.
+struct Region {
+  std::size_t end;        ///< index of the closing token
+  bool unordered_range;   ///< a range-for over an unordered container
+};
+
+}  // namespace
+
+void check_determinism(const LexedFile& file, const Config& cfg,
+                       std::vector<Finding>& out) {
+  const std::vector<Token>& toks = file.tokens;
+  const std::set<std::string> unordered_vars =
+      declared_names(toks, kUnorderedTypes, /*templated=*/true);
+  const std::set<std::string> float_vars =
+      declared_names(toks, kFloatTypes, /*templated=*/false);
+
+  bool clock_allowed = false;
+  for (const std::string& prefix : cfg.clock_allow_prefixes) {
+    if (has_prefix(file.path, prefix)) clock_allowed = true;
+  }
+
+  // Function-context stack: (name, brace depth at entry).
+  std::vector<std::pair<std::string, int>> functions;
+  std::vector<Region> regions;  // open range-for bodies
+  int brace_depth = 0;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    while (!regions.empty() && i > regions.back().end) regions.pop_back();
+
+    if (t.kind == Tok::kPunct) {
+      if (t.text == "{") {
+        ++brace_depth;
+      } else if (t.text == "}") {
+        --brace_depth;
+        while (!functions.empty() && brace_depth < functions.back().second) {
+          functions.pop_back();
+        }
+      }
+      continue;
+    }
+    if (t.kind != Tok::kIdent) continue;
+
+    // --- function definition header: IDENT ( ... ) [stuff] { ----------
+    if (i + 1 < toks.size() && is(toks[i + 1], Tok::kPunct, "(") &&
+        kKeywordsBeforeParen.count(t.text) == 0) {
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close < toks.size()) {
+        std::size_t j = close + 1;
+        // Skip trailing specifiers, a trailing return type, and one
+        // constructor initializer list.
+        bool plausible = true;
+        int guard = 0;
+        while (j < toks.size() && !is(toks[j], Tok::kPunct, "{")) {
+          const Token& u = toks[j];
+          if (u.kind == Tok::kIdent || u.kind == Tok::kNumber ||
+              is(u, Tok::kPunct, "::") || is(u, Tok::kPunct, "->") ||
+              is(u, Tok::kPunct, "&") || is(u, Tok::kPunct, "&&") ||
+              is(u, Tok::kPunct, "*") || is(u, Tok::kPunct, ",") ||
+              is(u, Tok::kPunct, ":")) {
+            ++j;
+          } else if (is(u, Tok::kPunct, "(")) {
+            j = match_forward(toks, j, "(", ")") + 1;
+          } else if (is(u, Tok::kPunct, "<")) {
+            const std::size_t e = match_forward(toks, j, "<", ">");
+            if (e >= toks.size()) {
+              plausible = false;
+              break;
+            }
+            j = e + 1;
+          } else {
+            plausible = false;
+            break;
+          }
+          if (++guard > 64) {
+            plausible = false;
+            break;
+          }
+        }
+        if (plausible && j < toks.size() && is(toks[j], Tok::kPunct, "{")) {
+          functions.emplace_back(t.text, brace_depth + 1);
+        }
+      }
+    }
+
+    // --- range-for over an unordered container (EL001 / EL003 scope) --
+    if (t.text == "for" && i + 1 < toks.size() &&
+        is(toks[i + 1], Tok::kPunct, "(")) {
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      std::size_t colon = toks.size();
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (toks[j].kind != Tok::kPunct) continue;
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") --depth;
+        if (depth == 1 && toks[j].text == ":") {
+          colon = j;
+          break;
+        }
+        if (depth == 1 && toks[j].text == ";") break;  // classic for
+      }
+      if (colon < close) {
+        bool unordered = false;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (toks[j].kind == Tok::kIdent &&
+              unordered_vars.count(toks[j].text) != 0) {
+            unordered = true;
+          }
+        }
+        if (unordered) {
+          if (!functions.empty() && is_emit_path(functions.back().first)) {
+            out.push_back(Finding{
+                file.path, t.line, "EL001",
+                "unordered-container iteration in '" +
+                    functions.back().first +
+                    "': iteration order is nondeterministic in a "
+                    "result/merge/emit path (sort keys first or use an "
+                    "ordered container)"});
+          }
+          std::size_t body_end = toks.size();
+          if (close + 1 < toks.size()) {
+            if (is(toks[close + 1], Tok::kPunct, "{")) {
+              body_end = match_forward(toks, close + 1, "{", "}");
+            } else {
+              for (std::size_t j = close + 1; j < toks.size(); ++j) {
+                if (is(toks[j], Tok::kPunct, ";")) {
+                  body_end = j;
+                  break;
+                }
+              }
+            }
+          }
+          regions.push_back(Region{body_end, true});
+        }
+      }
+    }
+
+    // --- EL003: float accumulation inside an unordered range-for ------
+    if (float_vars.count(t.text) != 0 && i + 1 < toks.size() &&
+        toks[i + 1].kind == Tok::kPunct &&
+        (toks[i + 1].text == "+=" || toks[i + 1].text == "-=" ||
+         toks[i + 1].text == "*=" || toks[i + 1].text == "/=")) {
+      bool in_unordered_loop = false;
+      for (const Region& r : regions) {
+        if (r.unordered_range) in_unordered_loop = true;
+      }
+      if (in_unordered_loop) {
+        out.push_back(Finding{
+            file.path, t.line, "EL003",
+            "floating-point accumulation into '" + t.text +
+                "' inside unordered-container iteration: the sum depends "
+                "on hash order (accumulate over sorted keys instead)"});
+      }
+    }
+
+    // --- EL002: ambient wall clock / entropy --------------------------
+    if (!clock_allowed) {
+      const bool member_call =
+          i > 0 && (is(toks[i - 1], Tok::kPunct, ".") ||
+                    is(toks[i - 1], Tok::kPunct, "->"));
+      const bool calls = i + 1 < toks.size() &&
+                         is(toks[i + 1], Tok::kPunct, "(");
+      if ((t.text == "rand" || t.text == "srand" || t.text == "time") &&
+          calls && !member_call) {
+        out.push_back(Finding{
+            file.path, t.line, "EL002",
+            "'" + t.text +
+                "()' injects ambient state; derive randomness from "
+                "runner::substream_seed and timestamps from src/obs"});
+      } else if (t.text == "random_device" || t.text == "system_clock") {
+        out.push_back(Finding{
+            file.path, t.line, "EL002",
+            "'std::" + t.text +
+                "' is nondeterministic ambient state; simulation code "
+                "must be a pure function of its seed (see src/common/rng)"});
+      }
+    }
+
+    // --- EL004: raw std::mt19937 construction -------------------------
+    // Fires only on *constructions* -- `std::mt19937 name(seed)`,
+    // `std::mt19937 name;`, `std::mt19937 name = ...`, or a
+    // `std::mt19937{seed}` temporary -- never on reference/pointer
+    // parameters or bare type mentions, and not when the seed expression
+    // goes through one of the blessed derivation functions.
+    if (t.text == "mt19937" || t.text == "mt19937_64") {
+      std::size_t begin = toks.size();  // first token of the seed expr
+      std::size_t end = toks.size();    // one past its last token
+      bool constructs = false;
+      if (i + 1 < toks.size()) {
+        const Token& n = toks[i + 1];
+        if (is(n, Tok::kPunct, "(") || is(n, Tok::kPunct, "{")) {
+          constructs = true;  // temporary
+          const char* cl = n.text == "(" ? ")" : "}";
+          begin = i + 2;
+          end = match_forward(toks, i + 1, n.text.c_str(), cl);
+        } else if (n.kind == Tok::kIdent && i + 2 < toks.size()) {
+          const Token& after = toks[i + 2];
+          if (is(after, Tok::kPunct, "(") || is(after, Tok::kPunct, "{")) {
+            constructs = true;
+            const char* cl = after.text == "(" ? ")" : "}";
+            begin = i + 3;
+            end = match_forward(toks, i + 2, after.text.c_str(), cl);
+          } else if (is(after, Tok::kPunct, ";")) {
+            constructs = true;  // default-seeded
+          } else if (is(after, Tok::kPunct, "=")) {
+            constructs = true;
+            begin = i + 3;
+            for (std::size_t j = begin; j < toks.size(); ++j) {
+              if (is(toks[j], Tok::kPunct, ";")) {
+                end = j;
+                break;
+              }
+            }
+          }
+        }
+      }
+      bool blessed = false;
+      for (std::size_t j = begin; j < end && j < toks.size(); ++j) {
+        if (toks[j].kind == Tok::kIdent &&
+            (toks[j].text == "substream_seed" ||
+             toks[j].text == "paper_sweep_seed")) {
+          blessed = true;
+        }
+      }
+      if (constructs && !blessed) {
+        out.push_back(Finding{
+            file.path, t.line, "EL004",
+            "raw std::" + t.text +
+                " construction: seed it from runner::substream_seed or "
+                "trace::paper_sweep_seed so the stream is a deterministic "
+                "substream of the experiment seed"});
+      }
+    }
+  }
+}
+
+}  // namespace eccsim::ecclint

@@ -1,0 +1,254 @@
+// Layering rules (EL101/EL102): every #include edge between declared
+// modules must appear in the DAG in tools/ecclint/layers.txt, and the
+// declared DAG itself must be acyclic.  This is the machine-checked form
+// of the interface/impl discipline the CMake target graph encodes by
+// hand -- the PR-7 `ecc_json` split (obs needed JSON without a
+// runner <-> obs cycle) is exactly the class of incident this pass makes
+// structurally impossible.
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace eccsim::ecclint {
+
+namespace {
+
+struct Layers {
+  /// Declaration order preserved so findings are stable.
+  std::vector<std::pair<std::string, std::string>> modules;  // name, prefix
+  std::map<std::string, std::set<std::string>> allow;        // from -> to
+  std::map<std::string, int> edge_line;  // "from->to" -> layers.txt line
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> words;
+  std::istringstream is(s);
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+/// Parses layers.txt.  Format (comments with '#', one directive per
+/// line):
+///   module NAME PATH-PREFIX [PATH-PREFIX...]
+///   allow  FROM -> TO [TO...]
+Layers parse_layers(const std::string& text, const std::string& path,
+                    std::vector<Finding>& out) {
+  Layers layers;
+  std::set<std::string> module_names;
+  std::istringstream is(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    std::string line = raw;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::vector<std::string> words = split_ws(line);
+    if (words[0] == "module" && words.size() >= 3) {
+      if (!module_names.insert(words[1]).second) {
+        out.push_back(Finding{path, lineno, "EL102",
+                              "module '" + words[1] + "' declared twice"});
+        continue;
+      }
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        layers.modules.emplace_back(words[1], words[i]);
+      }
+    } else if (words[0] == "allow" && words.size() >= 4 &&
+               words[2] == "->") {
+      for (std::size_t i = 3; i < words.size(); ++i) {
+        layers.allow[words[1]].insert(words[i]);
+        layers.edge_line.emplace(words[1] + "->" + words[i], lineno);
+      }
+    } else {
+      out.push_back(Finding{path, lineno, "EL102",
+                            "unparseable layers.txt line: '" + trim(raw) +
+                                "'"});
+    }
+  }
+  // Every module named in an allow edge must be declared.
+  for (const auto& [from, tos] : layers.allow) {
+    std::set<std::string> names;
+    for (const auto& [name, prefix] : layers.modules) names.insert(name);
+    if (names.count(from) == 0) {
+      out.push_back(Finding{path, layers.edge_line[from + "->" + *tos.begin()],
+                            "EL102",
+                            "allow edge from undeclared module '" + from +
+                                "'"});
+    }
+    for (const std::string& to : tos) {
+      if (names.count(to) == 0) {
+        out.push_back(Finding{path, layers.edge_line[from + "->" + to],
+                              "EL102",
+                              "allow edge to undeclared module '" + to +
+                                  "'"});
+      }
+    }
+  }
+  return layers;
+}
+
+/// Longest-prefix module match; empty string when unmapped.
+std::string module_of(const Layers& layers, const std::string& path) {
+  std::string best_name;
+  std::size_t best_len = 0;
+  for (const auto& [name, prefix] : layers.modules) {
+    if (prefix.size() > best_len && path.rfind(prefix, 0) == 0) {
+      best_name = name;
+      best_len = prefix.size();
+    }
+  }
+  return best_name;
+}
+
+/// Lexically normalizes "a/b/../c" -> "a/c".
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream is(path);
+  while (std::getline(is, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+    } else {
+      parts.push_back(part);
+    }
+  }
+  std::string joined;
+  for (const std::string& p : parts) {
+    if (!joined.empty()) joined.push_back('/');
+    joined += p;
+  }
+  return joined;
+}
+
+/// Maps an include target to a module.  Project includes are written
+/// either relative to src/ ("runner/json.hpp") or to the including file's
+/// directory ("bench_common.hpp").  A candidate that names a file in the
+/// scanned set wins outright (it is what the compiler would find on this
+/// repo's include paths); only then fall back to bare prefix matching.
+std::string include_module(const Layers& layers,
+                           const std::set<std::string>& known_files,
+                           const std::string& includer,
+                           const std::string& inc) {
+  std::string dir;
+  if (const std::size_t slash = includer.rfind('/');
+      slash != std::string::npos) {
+    dir = includer.substr(0, slash + 1);
+  }
+  const std::string candidates[] = {normalize("src/" + inc),
+                                    normalize(dir + inc), normalize(inc)};
+  for (const std::string& candidate : candidates) {
+    if (known_files.count(candidate) != 0) {
+      return module_of(layers, candidate);
+    }
+  }
+  for (const std::string& candidate : candidates) {
+    const std::string mod = module_of(layers, candidate);
+    if (!mod.empty()) return mod;
+  }
+  return {};
+}
+
+/// DFS cycle check over the declared allow edges.
+void check_cycles(const Layers& layers, const std::string& path,
+                  std::vector<Finding>& out) {
+  std::map<std::string, int> state;  // 0 new, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> cycles;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    state[n] = 1;
+    stack.push_back(n);
+    const auto it = layers.allow.find(n);
+    if (it != layers.allow.end()) {
+      for (const std::string& to : it->second) {
+        if (to == n) continue;  // self-edges are implicit and harmless
+        if (state[to] == 1) {
+          const auto at = std::find(stack.begin(), stack.end(), to);
+          cycles.emplace_back(at, stack.end());
+          cycles.back().push_back(to);
+        } else if (state[to] == 0) {
+          dfs(to);
+        }
+      }
+    }
+    stack.pop_back();
+    state[n] = 2;
+  };
+
+  std::set<std::string> names;
+  for (const auto& [name, prefix] : layers.modules) names.insert(name);
+  for (const std::string& n : names) {
+    if (state[n] == 0) dfs(n);
+  }
+
+  for (const std::vector<std::string>& cycle : cycles) {
+    std::string desc;
+    for (const std::string& n : cycle) {
+      if (!desc.empty()) desc += " -> ";
+      desc += n;
+    }
+    const std::string key = cycle[0] + "->" + cycle[1];
+    const auto it = layers.edge_line.find(key);
+    out.push_back(Finding{path, it != layers.edge_line.end() ? it->second : 1,
+                          "EL102",
+                          "declared module DAG has a cycle: " + desc});
+  }
+}
+
+}  // namespace
+
+void check_layering(const std::vector<LexedFile>& files, const Config& cfg,
+                    std::vector<Finding>& out) {
+  if (cfg.layers_text.empty()) return;
+  std::vector<Finding> parse_errors;
+  const Layers layers =
+      parse_layers(cfg.layers_text, cfg.layers_path, parse_errors);
+  for (const Finding& f : parse_errors) out.push_back(f);
+  if (!parse_errors.empty()) return;  // don't cascade from a broken DAG
+
+  check_cycles(layers, cfg.layers_path, out);
+
+  std::set<std::string> known_files;
+  for (const LexedFile& file : files) known_files.insert(file.path);
+
+  for (const LexedFile& file : files) {
+    const std::string from = module_of(layers, file.path);
+    if (from.empty()) continue;  // unmapped (e.g. tests/): unconstrained
+    for (const Include& inc : file.includes) {
+      if (inc.angled) continue;  // system headers carry no layering edge
+      const std::string to =
+          include_module(layers, known_files, file.path, inc.path);
+      if (to.empty() || to == from) continue;
+      const auto it = layers.allow.find(from);
+      if (it == layers.allow.end() || it->second.count(to) == 0) {
+        out.push_back(Finding{
+            file.path, inc.line, "EL101",
+            "include of \"" + inc.path + "\" crosses undeclared module "
+            "edge " + from + " -> " + to + " (declare it in " +
+                cfg.layers_path + " with a rationale, or break the "
+                "dependency)"});
+      }
+    }
+  }
+}
+
+}  // namespace eccsim::ecclint

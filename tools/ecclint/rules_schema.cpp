@@ -1,0 +1,201 @@
+// Schema/consistency rules (EL201-EL205): the telemetry surface --
+// `eccsim.<name>/<version>` schema ids, stats dotted paths, and bench
+// flag strings -- must stay internally consistent and documented, because
+// downstream consumers (benchtool, CI asserts, dashboards) key on these
+// strings verbatim.
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace eccsim::ecclint {
+
+namespace {
+
+bool is_schema_like(const std::string& s) {
+  // ecclint:allow(EL201) the rule's own match prefix, not a schema id
+  return s.rfind("eccsim.", 0) == 0;
+}
+
+/// eccsim.<name>/<version> with name in [a-z0-9_]+ and a numeric version.
+bool valid_schema_id(const std::string& s, std::string* name,
+                     std::string* version) {
+  const std::string body = s.substr(7);  // past "eccsim."
+  const std::size_t slash = body.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= body.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < slash; ++i) {
+    const char c = body[i];
+    if (!std::islower(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  for (std::size_t i = slash + 1; i < body.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(body[i]))) return false;
+  }
+  *name = body.substr(0, slash);
+  *version = body.substr(slash + 1);
+  return true;
+}
+
+const std::set<std::string> kRegistrationFns = {
+    "counter", "accum", "gauge", "distribution", "histogram"};
+
+/// A whole-literal bench flag: --foo, --foo-bar, --foo= (value-taking).
+bool flag_shaped(const std::string& s) {
+  if (s.size() < 3 || s[0] != '-' || s[1] != '-') return false;
+  std::string body = s.substr(2);
+  if (!body.empty() && body.back() == '=') body.pop_back();
+  if (body.empty() ||
+      !std::isalnum(static_cast<unsigned char>(body[0]))) {
+    return false;
+  }
+  for (char c : body) {
+    if (!std::islower(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c)) && c != '-' &&
+        c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True when `flag` occurs in `text` at a flag boundary (not as a prefix
+/// of a longer flag, so "--trace" does not match inside "--trace-in").
+bool contains_flag(const std::string& text, const std::string& flag) {
+  std::size_t at = 0;
+  while ((at = text.find(flag, at)) != std::string::npos) {
+    const std::size_t end = at + flag.size();
+    const char next = end < text.size() ? text[end] : '\0';
+    if (!std::islower(static_cast<unsigned char>(next)) &&
+        !std::isdigit(static_cast<unsigned char>(next)) && next != '-' &&
+        next != '_') {
+      return true;
+    }
+    at = end;
+  }
+  return false;
+}
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+void check_schema(const std::vector<LexedFile>& files, const Config& cfg,
+                  std::vector<Finding>& out) {
+  struct Site {
+    std::string file;
+    int line;
+    std::string what;  // version or stat kind
+  };
+  std::map<std::string, Site> schema_versions;  // name -> first site
+  std::map<std::string, Site> stat_kinds;       // path -> first site
+
+  for (const LexedFile& file : files) {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::kString) continue;
+
+      // --- EL201/EL202/EL203: schema ids ------------------------------
+      if (is_schema_like(t.text)) {
+        std::string name, version;
+        if (!valid_schema_id(t.text, &name, &version)) {
+          out.push_back(Finding{
+              file.path, t.line, "EL201",
+              "schema id '" + t.text +
+                  "' does not match the eccsim.<name>/<version> convention "
+                  "(docs/OBSERVABILITY.md)"});
+          continue;
+        }
+        const auto [it, inserted] =
+            schema_versions.emplace(name, Site{file.path, t.line, version});
+        if (!inserted && it->second.what != version) {
+          out.push_back(Finding{
+              file.path, t.line, "EL203",
+              "schema 'eccsim." + name + "' bound to version " + version +
+                  " here but version " + it->second.what + " at " +
+                  it->second.file + ":" + std::to_string(it->second.line) +
+                  " (bump every producer together)"});
+        }
+        if (!cfg.schema_doc.empty() &&
+            cfg.schema_doc.find(t.text) == std::string::npos) {
+          out.push_back(Finding{
+              file.path, t.line, "EL202",
+              "schema id '" + t.text + "' is not documented in " +
+                  cfg.schema_doc_path});
+        }
+      }
+
+      // --- EL204: stats dotted-path kind conflicts --------------------
+      // Pattern: <recv> . / -> / :: REGFN ( "literal"  -- only literal
+      // first arguments are statically checkable; prefix-composed paths
+      // are exercised by the runtime registry's uniqueness exception.
+      if (i >= 2 && toks[i - 1].kind == Tok::kPunct &&
+          toks[i - 1].text == "(" && toks[i - 2].kind == Tok::kIdent &&
+          kRegistrationFns.count(toks[i - 2].text) != 0 && i >= 3 &&
+          toks[i - 3].kind == Tok::kPunct &&
+          (toks[i - 3].text == "." || toks[i - 3].text == "->" ||
+           toks[i - 3].text == "::")) {
+        const std::string& kind = toks[i - 2].text;
+        const auto [it, inserted] =
+            stat_kinds.emplace(t.text, Site{file.path, t.line, kind});
+        if (!inserted && it->second.what != kind) {
+          out.push_back(Finding{
+              file.path, t.line, "EL204",
+              "stats path '" + t.text + "' registered as " + kind +
+                  " here but as " + it->second.what + " at " +
+                  it->second.file + ":" + std::to_string(it->second.line) +
+                  " (the registry throws on kind conflicts at runtime)"});
+        }
+      }
+    }
+
+    // --- EL205: every flag literal must appear in the --help text -----
+    // Applies to binaries' sources: anything under bench/ or tools/ that
+    // mentions --help.  The help text is the set of literals that contain
+    // more than the bare flag.
+    if (!has_prefix(file.path, "bench/") && !has_prefix(file.path, "tools/")) {
+      continue;
+    }
+    bool has_help = false;
+    for (const Token& t : toks) {
+      if (t.kind == Tok::kString && contains_flag(t.text, "--help")) {
+        has_help = true;
+        break;
+      }
+    }
+    if (!has_help) continue;
+    for (const Token& t : toks) {
+      if (t.kind != Tok::kString || !flag_shaped(t.text)) continue;
+      std::string flag = t.text;
+      if (flag.back() == '=') flag.pop_back();
+      if (flag == "--help") continue;  // self-documenting
+
+      bool documented = false;
+      for (const Token& u : toks) {
+        if (u.kind != Tok::kString || &u == &t) continue;
+        if (u.text.size() > flag.size() && contains_flag(u.text, flag)) {
+          documented = true;
+          break;
+        }
+      }
+      if (!documented) {
+        out.push_back(Finding{
+            file.path, t.line, "EL205",
+            "flag '" + flag + "' is parsed here but never mentioned in "
+            "this binary's --help text"});
+      }
+    }
+  }
+}
+
+}  // namespace eccsim::ecclint
