@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "gf/kernels.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/manifest.hpp"
 #include "obs/openmetrics.hpp"
@@ -582,7 +583,35 @@ void init(int argc, char** argv) {
   m.extra.emplace_back("fidelity", smoke_mode()   ? "smoke"
                                    : quick_mode() ? "quick"
                                                   : "full");
+  // Resolving the GF kernel here makes a bad ECCSIM_KERNEL fail fast at
+  // startup (exit 2, like any malformed flag) instead of mid-sweep, and
+  // stamps the manifest so every result names the kernel that computed it.
+  const gf::Kernel kern = gf::active_kernel();
+  m.extra.emplace_back("kernel", gf::kernel_name(kern));
   obs::write_manifest(manifest_path(), m);
+
+  // Companion kernel-provenance document (schema eccsim.kernels/1, see
+  // docs/OBSERVABILITY.md): which kernel ran, whether it was forced, and
+  // what the CPU offered.  Observation-only; results are kernel-invariant
+  // by the oracle guarantee (docs/KERNELS.md).
+  {
+    runner::Json kdoc = runner::Json::object();
+    kdoc.set("schema", "eccsim.kernels/1");
+    kdoc.set("bench", g_bench_name);
+    kdoc.set("active", gf::kernel_name(kern));
+    const char* forced = std::getenv("ECCSIM_KERNEL");
+    kdoc.set("override", forced != nullptr ? runner::Json(forced)
+                                           : runner::Json(nullptr));
+    runner::Json avail = runner::Json::array();
+    for (gf::Kernel k : {gf::Kernel::kScalar, gf::Kernel::kSlice8,
+                         gf::Kernel::kSimd}) {
+      if (gf::kernel_available(k)) avail.push_back(gf::kernel_name(k));
+    }
+    kdoc.set("available", std::move(avail));
+    kdoc.set("simd_avx2", gf::kernel_simd_uses_avx2());
+    runner::write_json(
+        out_dir("results") + "/" + g_bench_name + ".kernels.json", kdoc);
+  }
 
   // Touch the profiler's (and exporter's) function-local statics now so
   // they are constructed before the atexit handler registers -- C++ tears

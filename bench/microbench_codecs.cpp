@@ -11,11 +11,99 @@
 #include "dram/channel.hpp"
 #include "ecc/codec.hpp"
 #include "eccparity/manager.hpp"
+#include "gf/kernels.hpp"
 #include "gf/rs.hpp"
 
 using namespace eccsim;
 
 namespace {
+
+/// Pins one GF kernel for the duration of a measurement loop and restores
+/// the previous dispatch on destruction, so the per-kernel benchmarks
+/// below compare implementations instead of whatever ECCSIM_KERNEL chose.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(gf::Kernel k) : prev_(gf::set_kernel_override(k)) {}
+  ~ScopedKernel() { gf::set_kernel_override(prev_); }
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+
+ private:
+  gf::Kernel prev_;
+};
+
+bool skip_unless_available(benchmark::State& state, gf::Kernel k) {
+  if (gf::kernel_available(k)) return false;
+  state.SkipWithError("kernel unavailable on this CPU");
+  return true;
+}
+
+// RS(36,32) encode with the kernel pinned per run: the headline number
+// behind the slice8/simd speedup claims in docs/KERNELS.md, and the series
+// benchtool's perf history tracks per kernel.
+void BM_Rs8EncodeKernel(benchmark::State& state) {
+  const auto kern = static_cast<gf::Kernel>(state.range(0));
+  if (skip_unless_available(state, kern)) return;
+  ScopedKernel pin(kern);
+  gf::Rs8 rs(36, 32);
+  Rng rng(1);
+  std::vector<std::uint8_t> data(32);
+  for (auto& d : data) d = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+  state.SetLabel(gf::kernel_name(kern));
+}
+BENCHMARK(BM_Rs8EncodeKernel)
+    ->Arg(static_cast<int>(gf::Kernel::kScalar))
+    ->Arg(static_cast<int>(gf::Kernel::kSlice8))
+    ->Arg(static_cast<int>(gf::Kernel::kSimd));
+
+// Syndrome computation (the decode hot path for clean reads) per kernel.
+void BM_Rs8CheckKernel(benchmark::State& state) {
+  const auto kern = static_cast<gf::Kernel>(state.range(0));
+  if (skip_unless_available(state, kern)) return;
+  ScopedKernel pin(kern);
+  gf::Rs8 rs(36, 32);
+  Rng rng(6);
+  std::vector<std::uint8_t> data(32);
+  for (auto& d : data) d = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto cw = rs.encode(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.check(cw));
+  }
+  state.SetLabel(gf::kernel_name(kern));
+}
+BENCHMARK(BM_Rs8CheckKernel)
+    ->Arg(static_cast<int>(gf::Kernel::kScalar))
+    ->Arg(static_cast<int>(gf::Kernel::kSlice8))
+    ->Arg(static_cast<int>(gf::Kernel::kSimd));
+
+// The raw region primitive at DRAM-line size, isolating kernel throughput
+// from RS bookkeeping.
+void BM_GfMulRegionAccKernel(benchmark::State& state) {
+  const auto kern = static_cast<gf::Kernel>(state.range(0));
+  if (skip_unless_available(state, kern)) return;
+  ScopedKernel pin(kern);
+  Rng rng(7);
+  std::vector<std::uint8_t> src(4096), dst(4096, 0);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_below(256));
+  std::uint8_t c = 2;
+  for (auto _ : state) {
+    gf::gf_mul_region_acc(c, src.data(), dst.data(), src.size());
+    benchmark::DoNotOptimize(dst.data());
+    c = static_cast<std::uint8_t>(c + 1);
+    if (c == 0) c = 2;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.SetLabel(gf::kernel_name(kern));
+}
+BENCHMARK(BM_GfMulRegionAccKernel)
+    ->Arg(static_cast<int>(gf::Kernel::kScalar))
+    ->Arg(static_cast<int>(gf::Kernel::kSlice8))
+    ->Arg(static_cast<int>(gf::Kernel::kSimd));
 
 void BM_Rs8Encode(benchmark::State& state) {
   gf::Rs8 rs(36, 32);

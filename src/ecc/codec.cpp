@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gf/kernels.hpp"
 #include "gf/rs.hpp"
 
 namespace eccsim::ecc {
@@ -82,6 +83,9 @@ class Chipkill36Codec final : public LineCodec {
     CodecResult result;
     result.detected = detect(data, det);
     std::vector<bool> chip_fixed(chips(), false);
+    // Earlier words are written back as they decode; the line snapshot
+    // makes a mid-line decode failure restore the caller's input.
+    const std::vector<std::uint8_t> original(data.begin(), data.end());
     for (unsigned w = 0; w < 4; ++w) {
       // Codeword layout: [corr0 corr1 | data*32 det0 det1].
       std::vector<std::uint8_t> cw(36);
@@ -96,7 +100,10 @@ class Chipkill36Codec final : public LineCodec {
       }
       const std::vector<std::uint8_t> before = cw;
       const RsDecodeResult dec = corr_code_.decode(cw, erasures);
-      if (!dec.ok) return result;  // uncorrectable
+      if (!dec.ok) {  // uncorrectable
+        std::copy(original.begin(), original.end(), data.begin());
+        return result;
+      }
       for (unsigned i = 0; i < 36; ++i) {
         if (cw[i] != before[i]) chip_fixed[codeword_pos_to_chip(i)] = true;
       }
@@ -191,6 +198,7 @@ class Chipkill18Codec final : public LineCodec {
     CodecResult result;
     result.detected = detect(data, det);
     std::vector<bool> chip_fixed(chips(), false);
+    const std::vector<std::uint8_t> original(data.begin(), data.end());
     for (unsigned w = 0; w < 4; ++w) {
       std::vector<std::uint8_t> cw(18);
       cw[0] = det[w * 2];
@@ -202,7 +210,10 @@ class Chipkill18Codec final : public LineCodec {
       }
       const std::vector<std::uint8_t> before = cw;
       const RsDecodeResult dec = code_.decode(cw, erasures);
-      if (!dec.ok) return result;
+      if (!dec.ok) {
+        std::copy(original.begin(), original.end(), data.begin());
+        return result;
+      }
       for (unsigned i = 0; i < 18; ++i) {
         if (cw[i] != before[i]) {
           chip_fixed[i < 2 ? 16 + i : i - 2] = true;
@@ -276,8 +287,7 @@ class LotEccCodec final : public LineCodec {
     require(data.size() == data_bytes());
     std::vector<std::uint8_t> corr(share_bytes_, 0);
     for (unsigned c = 0; c < data_chips_; ++c) {
-      const auto s = share(data, c);
-      for (unsigned b = 0; b < share_bytes_; ++b) corr[b] ^= s[b];
+      gf::gf_xor_region(share(data, c).data(), corr.data(), share_bytes_);
     }
     return corr;
   }
@@ -312,14 +322,20 @@ class LotEccCodec final : public LineCodec {
     std::vector<std::uint8_t> fixed(corr.begin(), corr.end());
     for (unsigned c = 0; c < data_chips_; ++c) {
       if (c == chip) continue;
-      const auto s = share(data, c);
-      for (unsigned b = 0; b < share_bytes_; ++b) fixed[b] ^= s[b];
+      gf::gf_xor_region(share(data, c).data(), fixed.data(), share_bytes_);
     }
+    const std::vector<std::uint8_t> original_share(
+        data.begin() + chip * share_bytes_,
+        data.begin() + (chip + 1) * share_bytes_);
     std::copy(fixed.begin(), fixed.end(),
               data.begin() + chip * share_bytes_);
     // Verify tier 1 now passes for that chip.
     if (checksum(share(data, chip)) != stored_checksum(det, chip)) {
-      return result;  // the checksum itself was corrupted too: give up
+      // The checksum itself was corrupted too: give up, leaving the
+      // caller's input intact.
+      std::copy(original_share.begin(), original_share.end(),
+                data.begin() + chip * share_bytes_);
+      return result;
     }
     result.ok = true;
     result.corrected_chips = 1;
@@ -443,8 +459,7 @@ class RaimCodec final : public LineCodec {
     require(data.size() == data_bytes());
     std::vector<std::uint8_t> corr(share_bytes_, 0);
     for (unsigned d = 0; d < data_dimms_; ++d) {
-      const auto s = share(data, d);
-      for (unsigned b = 0; b < share_bytes_; ++b) corr[b] ^= s[b];
+      gf::gf_xor_region(share(data, d).data(), corr.data(), share_bytes_);
     }
     return corr;
   }
@@ -476,14 +491,18 @@ class RaimCodec final : public LineCodec {
     std::vector<std::uint8_t> fixed(corr.begin(), corr.end());
     for (unsigned d = 0; d < data_dimms_; ++d) {
       if (d == dimm) continue;
-      const auto s = share(data, d);
-      for (unsigned b = 0; b < share_bytes_; ++b) fixed[b] ^= s[b];
+      gf::gf_xor_region(share(data, d).data(), fixed.data(), share_bytes_);
     }
+    const std::vector<std::uint8_t> original_share(
+        data.begin() + dimm * share_bytes_,
+        data.begin() + (dimm + 1) * share_bytes_);
     std::copy(fixed.begin(), fixed.end(),
               data.begin() + dimm * share_bytes_);
     // Confirm the repaired share matches its stored detection symbols.
     const auto recheck = locate(data, det);
     if (std::find(recheck.begin(), recheck.end(), dimm) != recheck.end()) {
+      std::copy(original_share.begin(), original_share.end(),
+                data.begin() + dimm * share_bytes_);
       return result;
     }
     result.ok = true;

@@ -68,7 +68,10 @@ class LineCodec {
                       std::span<const std::uint8_t> det) const = 0;
 
   /// Attempts to correct `data` in place using the stored detection bits
-  /// and the (reconstructed or materialized) correction bits.
+  /// and the (reconstructed or materialized) correction bits.  On failure
+  /// (`!ok`) `data` is restored to exactly the input -- callers never see
+  /// a partially corrected line (mirrors the ReedSolomon::decode
+  /// contract).
   /// `known_bad_chips` may carry erasure information (e.g. a chip already
   /// recorded as failed); pass empty when the location is unknown.
   virtual CodecResult correct(

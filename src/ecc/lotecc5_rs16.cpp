@@ -104,6 +104,10 @@ class LotEcc5Rs16Codec final : public LineCodec {
 
     bool all_ok = true;
     std::vector<bool> chip_fixed(4, false);
+    // Decoded words are written back immediately; the line snapshot keeps
+    // the restore-on-failure contract when a later word fails (or the
+    // end-to-end verify below does).
+    const std::vector<std::uint8_t> original(data.begin(), data.end());
     for (unsigned w = 0; w < 4; ++w) {
       // Codeword layout: [check0 check1 | 8 data symbols].
       std::vector<std::uint16_t> cw(10);
@@ -128,9 +132,10 @@ class LotEcc5Rs16Codec final : public LineCodec {
       write_word_symbols(data, w, std::span<const std::uint16_t>(
                                       cw.data() + 2, 8));
     }
-    if (!all_ok) return result;
-    // Verify end to end.
-    if (detect(data, det)) return result;
+    if (!all_ok || detect(data, det)) {  // verify end to end
+      std::copy(original.begin(), original.end(), data.begin());
+      return result;
+    }
     result.ok = true;
     result.corrected_chips = static_cast<unsigned>(
         std::count(chip_fixed.begin(), chip_fixed.end(), true));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gf/kernels.hpp"
+
 namespace eccsim::eccparity {
 
 EccParityManager::EccParityManager(const dram::MemGeometry& geom,
@@ -43,7 +45,7 @@ std::vector<std::uint8_t> EccParityManager::xor_members(
             : codec_->detection_bits(bytes);
     if (codec_->detect(bytes, det)) return {};
     const auto corr = codec_->correction_bits(bytes);
-    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= corr[i];
+    gf::gf_xor_region(corr.data(), acc.data(), acc.size());
   }
   return acc;
 }
@@ -160,7 +162,7 @@ ReadResult EccParityManager::read_line(std::uint64_t line_index) {
       ++stats_.uncorrectable;
       return result;
     }
-    for (std::size_t i = 0; i < corr.size(); ++i) corr[i] ^= others[i];
+    gf::gf_xor_region(others.data(), corr.data(), corr.size());
   }
 
   const ecc::CodecResult fixed = codec_->correct(result.data, det, corr);
@@ -259,7 +261,7 @@ void EccParityManager::materialize_pair(const BankPairId& pair) {
       std::vector<std::uint8_t> corr = parity_slot(group);
       const auto others = xor_members(group, idx);
       if (others.size() == corr.size()) {
-        for (std::size_t i = 0; i < corr.size(); ++i) corr[i] ^= others[i];
+        gf::gf_xor_region(others.data(), corr.data(), corr.size());
         const ecc::CodecResult fixed = codec_->correct(line, det, corr);
         if (fixed.ok) {
           data_.write(idx, line);

@@ -1,0 +1,478 @@
+#include "gf/kernels.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "gf/gf.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ECCSIM_KERNELS_X86 1
+#else
+#define ECCSIM_KERNELS_X86 0
+#endif
+
+namespace eccsim::gf {
+namespace {
+
+// Every lookup table below is generated from Field<8>::mul, the scalar
+// oracle, so the fast kernels cannot disagree with it without the
+// generator itself being wrong -- and tests/gf_kernels_test.cpp checks
+// the composition anyway.
+struct MulTables {
+  // Full product table: mul[c][x] = c * x.  64 KiB; the row for one
+  // coefficient is 256 bytes, so a region multiply touches 4 cache lines
+  // of table regardless of region length.
+  std::uint8_t mul[256][256];
+  // Nibble tables for PSHUFB: c * x == nib_lo[c][x & 15] ^
+  // nib_hi[c][x >> 4], each half a 16-entry shuffle.  8 KiB.
+  alignas(16) std::uint8_t nib_lo[256][16];
+  alignas(16) std::uint8_t nib_hi[256][16];
+  MulTables() {
+    using F = Field<8>;
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned x = 0; x < 256; ++x) {
+        mul[c][x] = F::mul(static_cast<std::uint8_t>(c),
+                           static_cast<std::uint8_t>(x));
+      }
+      for (unsigned n = 0; n < 16; ++n) {
+        nib_lo[c][n] = mul[c][n];
+        nib_hi[c][n] = mul[c][n << 4];
+      }
+    }
+  }
+};
+
+const MulTables& tables() {
+  static const MulTables t;
+  return t;
+}
+
+bool cpu_has_ssse3() {
+#if ECCSIM_KERNELS_X86
+  return __builtin_cpu_supports("ssse3") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx2() {
+#if ECCSIM_KERNELS_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+[[noreturn]] void kernel_usage_error(const char* msg, const char* value) {
+  std::fprintf(stderr, "eccsim: %s ECCSIM_KERNEL value '%s' %s\n",
+               value ? "unknown" : "unusable", value ? value : "simd", msg);
+  std::exit(2);
+}
+
+Kernel& active_slot() {
+  static Kernel k = resolve_kernel_from_env();
+  return k;
+}
+
+}  // namespace
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kSlice8:
+      return "slice8";
+    case Kernel::kSimd:
+      return "simd";
+  }
+  return "?";
+}
+
+bool kernel_available(Kernel k) {
+  return k != Kernel::kSimd || cpu_has_ssse3();
+}
+
+bool kernel_simd_uses_avx2() { return cpu_has_avx2(); }
+
+Kernel resolve_kernel_from_env() {
+  const char* env = std::getenv("ECCSIM_KERNEL");
+  if (env == nullptr || *env == '\0') {
+    return cpu_has_ssse3() ? Kernel::kSimd : Kernel::kSlice8;
+  }
+  if (std::strcmp(env, "scalar") == 0) return Kernel::kScalar;
+  if (std::strcmp(env, "slice8") == 0) return Kernel::kSlice8;
+  if (std::strcmp(env, "simd") == 0) {
+    // A forced kernel is a measurement request; silently falling back to
+    // slice8 would mislabel every number it produced.
+    if (!cpu_has_ssse3()) {
+      kernel_usage_error("(this CPU lacks SSSE3)", nullptr);
+    }
+    return Kernel::kSimd;
+  }
+  kernel_usage_error("(expected scalar|slice8|simd)", env);
+}
+
+Kernel active_kernel() { return active_slot(); }
+
+Kernel set_kernel_override(Kernel k) {
+  if (!kernel_available(k)) {
+    throw std::invalid_argument("set_kernel_override: kernel unavailable");
+  }
+  Kernel prev = active_slot();
+  active_slot() = k;
+  return prev;
+}
+
+// --- scalar -----------------------------------------------------------------
+// The original table walk, byte at a time.  This is the oracle: it calls
+// straight into Field<8>, the arithmetic every existing test pins down.
+
+void gf_mul_region_scalar(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t len) {
+  using F = Field<8>;
+  for (std::size_t i = 0; i < len; ++i) dst[i] = F::mul(c, src[i]);
+}
+
+void gf_mul_region_acc_scalar(std::uint8_t c, const std::uint8_t* src,
+                              std::uint8_t* dst, std::size_t len) {
+  using F = Field<8>;
+  for (std::size_t i = 0; i < len; ++i) {
+    dst[i] = F::add(dst[i], F::mul(c, src[i]));
+  }
+}
+
+void gf_xor_region_scalar(const std::uint8_t* src, std::uint8_t* dst,
+                          std::size_t len) {
+  using F = Field<8>;
+  for (std::size_t i = 0; i < len; ++i) dst[i] = F::add(dst[i], src[i]);
+}
+
+void gf_affine_combine_scalar(const std::uint8_t* coeffs, std::size_t n_rows,
+                              const std::uint8_t* rows, std::size_t row_stride,
+                              std::uint8_t* dst, std::size_t len) {
+  std::memset(dst, 0, len);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    gf_mul_region_acc_scalar(coeffs[r], rows + r * row_stride, dst, len);
+  }
+}
+
+// --- slice8 -----------------------------------------------------------------
+// One 256-byte table row per coefficient; the loop consumes 8 bytes per
+// iteration so the lookups pipeline and the stores coalesce to one u64.
+
+void gf_mul_region_slice8(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t len) {
+  if (c == 0) {
+    std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, len);
+    return;
+  }
+  const std::uint8_t* row = tables().mul[c];
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint8_t out[8];
+    for (unsigned j = 0; j < 8; ++j) out[j] = row[src[i + j]];
+    std::memcpy(dst + i, out, 8);
+  }
+  for (; i < len; ++i) dst[i] = row[src[i]];
+}
+
+void gf_mul_region_acc_slice8(std::uint8_t c, const std::uint8_t* src,
+                              std::uint8_t* dst, std::size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    gf_xor_region_slice8(src, dst, len);
+    return;
+  }
+  const std::uint8_t* row = tables().mul[c];
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t acc;
+    std::uint8_t out[8];
+    for (unsigned j = 0; j < 8; ++j) out[j] = row[src[i + j]];
+    std::uint64_t prod;
+    std::memcpy(&prod, out, 8);
+    std::memcpy(&acc, dst + i, 8);
+    acc ^= prod;
+    std::memcpy(dst + i, &acc, 8);
+  }
+  for (; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+void gf_xor_region_slice8(const std::uint8_t* src, std::uint8_t* dst,
+                          std::size_t len) {
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+void gf_affine_combine_slice8(const std::uint8_t* coeffs, std::size_t n_rows,
+                              const std::uint8_t* rows, std::size_t row_stride,
+                              std::uint8_t* dst, std::size_t len) {
+  std::memset(dst, 0, len);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    gf_mul_region_acc_slice8(coeffs[r], rows + r * row_stride, dst, len);
+  }
+}
+
+// --- simd -------------------------------------------------------------------
+// PSHUFB answers 16 nibble lookups per instruction: split every source
+// byte into nibbles, shuffle each half through its 16-entry product
+// table, XOR the halves.  The AVX2 variant broadcasts the same two
+// 128-bit tables to both lanes and processes 32 bytes per iteration.
+// Both variants are compiled with per-function target attributes so the
+// translation unit itself stays baseline-ISA and dispatch is a plain
+// runtime branch.
+
+#if ECCSIM_KERNELS_X86
+
+__attribute__((target("ssse3"))) static void mul_region_acc_ssse3(
+    const std::uint8_t* lo_tab, const std::uint8_t* hi_tab,
+    const std::uint8_t* src, std::uint8_t* dst, std::size_t len, bool acc) {
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo_tab));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi_tab));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i nlo = _mm_and_si128(v, mask);
+    __m128i nhi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    __m128i prod =
+        _mm_xor_si128(_mm_shuffle_epi8(lo, nlo), _mm_shuffle_epi8(hi, nhi));
+    if (acc) {
+      prod = _mm_xor_si128(
+          prod, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), prod);
+  }
+  // Tail: the nibble tables answer single bytes just as well.
+  for (; i < len; ++i) {
+    const std::uint8_t p = static_cast<std::uint8_t>(
+        lo_tab[src[i] & 0x0f] ^ hi_tab[src[i] >> 4]);
+    dst[i] = acc ? static_cast<std::uint8_t>(dst[i] ^ p) : p;
+  }
+}
+
+__attribute__((target("avx2"))) static void mul_region_acc_avx2(
+    const std::uint8_t* lo_tab, const std::uint8_t* hi_tab,
+    const std::uint8_t* src, std::uint8_t* dst, std::size_t len, bool acc) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(lo_tab)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(hi_tab)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i nlo = _mm256_and_si256(v, mask);
+    __m256i nhi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo, nlo),
+                                    _mm256_shuffle_epi8(hi, nhi));
+    if (acc) {
+      prod = _mm256_xor_si256(
+          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+  }
+  if (i < len) {
+    mul_region_acc_ssse3(lo_tab, hi_tab, src + i, dst + i, len - i, acc);
+  }
+}
+
+static void mul_region_simd_impl(std::uint8_t c, const std::uint8_t* src,
+                                 std::uint8_t* dst, std::size_t len,
+                                 bool acc) {
+  if (c == 0) {
+    if (!acc) std::memset(dst, 0, len);
+    return;
+  }
+  const MulTables& t = tables();
+  if (cpu_has_avx2()) {
+    mul_region_acc_avx2(t.nib_lo[c], t.nib_hi[c], src, dst, len, acc);
+  } else {
+    mul_region_acc_ssse3(t.nib_lo[c], t.nib_hi[c], src, dst, len, acc);
+  }
+}
+
+#else  // !ECCSIM_KERNELS_X86
+
+// Non-x86 builds never report the simd kernel as available; these bodies
+// keep the symbols defined (and correct, via slice8) if called anyway.
+static void mul_region_simd_impl(std::uint8_t c, const std::uint8_t* src,
+                                 std::uint8_t* dst, std::size_t len,
+                                 bool acc) {
+  if (acc) {
+    gf_mul_region_acc_slice8(c, src, dst, len);
+  } else {
+    gf_mul_region_slice8(c, src, dst, len);
+  }
+}
+
+#endif  // ECCSIM_KERNELS_X86
+
+void gf_mul_region_simd(std::uint8_t c, const std::uint8_t* src,
+                        std::uint8_t* dst, std::size_t len) {
+  mul_region_simd_impl(c, src, dst, len, /*acc=*/false);
+}
+
+void gf_mul_region_acc_simd(std::uint8_t c, const std::uint8_t* src,
+                            std::uint8_t* dst, std::size_t len) {
+  mul_region_simd_impl(c, src, dst, len, /*acc=*/true);
+}
+
+void gf_xor_region_simd(const std::uint8_t* src, std::uint8_t* dst,
+                        std::size_t len) {
+  // XOR is multiply-by-one; the shuffle would be identity, so the plain
+  // wide-XOR loop is already optimal.
+  gf_xor_region_slice8(src, dst, len);
+}
+
+void gf_affine_combine_simd(const std::uint8_t* coeffs, std::size_t n_rows,
+                            const std::uint8_t* rows, std::size_t row_stride,
+                            std::uint8_t* dst, std::size_t len) {
+  std::memset(dst, 0, len);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    gf_mul_region_acc_simd(coeffs[r], rows + r * row_stride, dst, len);
+  }
+}
+
+// --- dispatchers ------------------------------------------------------------
+
+void gf_mul_region(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                   std::size_t len) {
+  switch (active_kernel()) {
+    case Kernel::kScalar:
+      gf_mul_region_scalar(c, src, dst, len);
+      return;
+    case Kernel::kSlice8:
+      gf_mul_region_slice8(c, src, dst, len);
+      return;
+    case Kernel::kSimd:
+      gf_mul_region_simd(c, src, dst, len);
+      return;
+  }
+}
+
+void gf_mul_region_acc(std::uint8_t c, const std::uint8_t* src,
+                       std::uint8_t* dst, std::size_t len) {
+  switch (active_kernel()) {
+    case Kernel::kScalar:
+      gf_mul_region_acc_scalar(c, src, dst, len);
+      return;
+    case Kernel::kSlice8:
+      gf_mul_region_acc_slice8(c, src, dst, len);
+      return;
+    case Kernel::kSimd:
+      gf_mul_region_acc_simd(c, src, dst, len);
+      return;
+  }
+}
+
+void gf_xor_region(const std::uint8_t* src, std::uint8_t* dst,
+                   std::size_t len) {
+  switch (active_kernel()) {
+    case Kernel::kScalar:
+      gf_xor_region_scalar(src, dst, len);
+      return;
+    case Kernel::kSlice8:
+      gf_xor_region_slice8(src, dst, len);
+      return;
+    case Kernel::kSimd:
+      gf_xor_region_simd(src, dst, len);
+      return;
+  }
+}
+
+void gf_affine_combine(const std::uint8_t* coeffs, std::size_t n_rows,
+                       const std::uint8_t* rows, std::size_t row_stride,
+                       std::uint8_t* dst, std::size_t len) {
+  switch (active_kernel()) {
+    case Kernel::kScalar:
+      gf_affine_combine_scalar(coeffs, n_rows, rows, row_stride, dst, len);
+      return;
+    case Kernel::kSlice8:
+      gf_affine_combine_slice8(coeffs, n_rows, rows, row_stride, dst, len);
+      return;
+    case Kernel::kSimd:
+      gf_affine_combine_simd(coeffs, n_rows, rows, row_stride, dst, len);
+      return;
+  }
+}
+
+// --- GfMatApply -------------------------------------------------------------
+
+GfMatApply::GfMatApply(const std::uint8_t* rows, std::size_t n_rows,
+                       std::size_t width)
+    : n_rows_(n_rows),
+      width_(width),
+      rows_(rows, rows + n_rows * width) {
+  if (width_ == 0 || width_ > 8) return;
+  // Pack every possible per-position contribution x * M[r] into a uint64
+  // (little-endian byte j = column j), so apply() folds whole rows with
+  // one XOR.  256 entries x n_rows; 64 KiB for RS(36,32)'s encode map.
+  using F = Field<8>;
+  tables_.assign(n_rows_ * 256, 0);
+  for (std::size_t r = 0; r < n_rows_; ++r) {
+    for (unsigned x = 0; x < 256; ++x) {
+      std::uint64_t packed = 0;
+      for (std::size_t j = 0; j < width_; ++j) {
+        const std::uint8_t prod =
+            F::mul(static_cast<std::uint8_t>(x), rows_[r * width_ + j]);
+        packed |= static_cast<std::uint64_t>(prod) << (8 * j);
+      }
+      tables_[r * 256 + x] = packed;
+    }
+  }
+}
+
+void GfMatApply::apply(const std::uint8_t* vec, std::size_t n,
+                       std::uint8_t* out) const {
+  apply_with(active_kernel(), vec, n, out);
+}
+
+void GfMatApply::apply_with(Kernel k, const std::uint8_t* vec, std::size_t n,
+                            std::uint8_t* out) const {
+  if (n != n_rows_) {
+    throw std::invalid_argument("GfMatApply::apply: vector length != rows");
+  }
+  if (k == Kernel::kScalar) {
+    using F = Field<8>;
+    for (std::size_t j = 0; j < width_; ++j) out[j] = 0;
+    for (std::size_t r = 0; r < n_rows_; ++r) {
+      const std::uint8_t c = vec[r];
+      if (c == 0) continue;
+      for (std::size_t j = 0; j < width_; ++j) {
+        out[j] = F::add(out[j], F::mul(c, rows_[r * width_ + j]));
+      }
+    }
+    return;
+  }
+  if (!tables_.empty()) {
+    std::uint64_t acc = 0;
+    const std::uint64_t* t = tables_.data();
+    for (std::size_t r = 0; r < n_rows_; ++r) acc ^= t[r * 256 + vec[r]];
+    for (std::size_t j = 0; j < width_; ++j) {
+      out[j] = static_cast<std::uint8_t>(acc >> (8 * j));
+    }
+    return;
+  }
+  if (k == Kernel::kSimd) {
+    gf_affine_combine_simd(vec, n_rows_, rows_.data(), width_, out, width_);
+  } else {
+    gf_affine_combine_slice8(vec, n_rows_, rows_.data(), width_, out, width_);
+  }
+}
+
+}  // namespace eccsim::gf

@@ -1,0 +1,186 @@
+// Bulk GF(2^8) region kernels with runtime CPU dispatch.
+//
+// The Reed-Solomon hot loops (`parity`, `syndromes`) and the XOR-share
+// codecs spend nearly all of their time multiplying a byte region by a
+// field constant and folding it into an accumulator.  This header exposes
+// those three primitives --
+//
+//   gf_mul_region      dst[i]  = c * src[i]
+//   gf_mul_region_acc  dst[i] ^= c * src[i]
+//   gf_affine_combine  dst[i]  = xor_r coeffs[r] * rows[r][i]
+//   gf_xor_region      dst[i] ^= src[i]            (the c == 1 special case)
+//
+// -- in three interchangeable implementations selected once per process:
+//
+//   scalar  The original per-symbol log/exp table walk (Field<8>::mul).
+//           Slow, but byte-for-byte the reference oracle every other
+//           kernel is tested against.
+//   slice8  A 64 KiB full product table (kMul[c][x]); the region loop is
+//           unrolled to consume 8 bytes per iteration ("slice-by-8"), so
+//           a multiply is one L1 load with no zero-checks or log adds.
+//   simd    SSSE3/AVX2 PSHUFB over 4-bit nibble tables: c*x is split as
+//           c*lo(x) ^ c*hi(x), each half answered by a 16-entry shuffle,
+//           giving 16 (SSSE3) or 32 (AVX2) products per instruction.
+//
+// Dispatch policy: the widest kernel the CPU supports wins (AVX2 > SSSE3
+// > slice8); the environment variable ECCSIM_KERNEL=scalar|slice8|simd
+// overrides it.  An unknown value is a usage error and exits with code 2,
+// matching the bench flag convention, and requesting `simd` on a CPU
+// without SSSE3 also exits 2 rather than silently falling back -- a forced
+// kernel is a measurement request, not a hint.  See docs/KERNELS.md.
+//
+// All kernels are bit-identical by construction *and* by test
+// (tests/gf_kernels_test.cpp compares every variant against the scalar
+// oracle over all alignments and lengths), so kernel choice can never
+// change simulation results -- only wall-clock.
+//
+// This header deliberately lives inside the gf module (see
+// tools/ecclint/layers.txt): the scalar oracle *is* Field<8>, so a
+// separate kernels module would create a gf <-> kernels cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eccsim::gf {
+
+/// The selectable region-kernel implementations, ordered by speed.
+enum class Kernel {
+  kScalar = 0,  ///< Field<8>::mul per byte; the test oracle.
+  kSlice8 = 1,  ///< 64 KiB product table, 8 bytes per loop iteration.
+  kSimd = 2,    ///< PSHUFB nibble tables (SSSE3 or AVX2 at runtime).
+};
+
+/// Stable lowercase name, the same token ECCSIM_KERNEL accepts.
+const char* kernel_name(Kernel k);
+
+/// True iff `k` can run on this CPU (scalar/slice8 always; simd needs
+/// SSSE3).
+bool kernel_available(Kernel k);
+
+/// True iff the simd kernel will use 256-bit AVX2 paths (informational;
+/// affects speed only, never results).
+bool kernel_simd_uses_avx2();
+
+/// Resolves ECCSIM_KERNEL + CPU features to a kernel.  Re-reads the
+/// environment on every call (so tests can setenv/unsetenv around it);
+/// exits with code 2 on an unknown value or an unavailable forced kernel.
+Kernel resolve_kernel_from_env();
+
+/// The process-wide active kernel: `resolve_kernel_from_env()` evaluated
+/// once and cached.  All dispatching entry points below route through it.
+Kernel active_kernel();
+
+/// Overrides the cached active kernel programmatically (benchmarks pin a
+/// kernel per measurement loop; tests restore the old value).  Returns the
+/// previous active kernel.  The override must be available on this CPU.
+Kernel set_kernel_override(Kernel k);
+
+// --- dispatching entry points ----------------------------------------------
+// `src` and `dst` may alias exactly (in-place) but must not partially
+// overlap.  len == 0 is a no-op; null pointers are fine when len == 0.
+
+/// dst[i] = c * src[i] for i in [0, len).
+void gf_mul_region(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                   std::size_t len);
+
+/// dst[i] ^= c * src[i] for i in [0, len).
+void gf_mul_region_acc(std::uint8_t c, const std::uint8_t* src,
+                       std::uint8_t* dst, std::size_t len);
+
+/// dst[i] ^= src[i] for i in [0, len).
+void gf_xor_region(const std::uint8_t* src, std::uint8_t* dst,
+                   std::size_t len);
+
+/// dst[i] = xor over r of coeffs[r] * rows[r * row_stride + i], the
+/// generator-matrix row combine used by RS encode and syndromes.  `dst`
+/// is overwritten (zero rows contribute nothing).  Rows live row-major in
+/// one block with `row_stride >= len` bytes between row starts.
+void gf_affine_combine(const std::uint8_t* coeffs, std::size_t n_rows,
+                       const std::uint8_t* rows, std::size_t row_stride,
+                       std::uint8_t* dst, std::size_t len);
+
+// --- per-kernel entry points (tests and benchmarks) -------------------------
+// Identical contracts to the dispatchers above, with the kernel pinned.
+// The *_simd variants require kernel_available(Kernel::kSimd).
+
+void gf_mul_region_scalar(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t len);
+void gf_mul_region_slice8(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t len);
+void gf_mul_region_simd(std::uint8_t c, const std::uint8_t* src,
+                        std::uint8_t* dst, std::size_t len);
+
+void gf_mul_region_acc_scalar(std::uint8_t c, const std::uint8_t* src,
+                              std::uint8_t* dst, std::size_t len);
+void gf_mul_region_acc_slice8(std::uint8_t c, const std::uint8_t* src,
+                              std::uint8_t* dst, std::size_t len);
+void gf_mul_region_acc_simd(std::uint8_t c, const std::uint8_t* src,
+                            std::uint8_t* dst, std::size_t len);
+
+void gf_xor_region_scalar(const std::uint8_t* src, std::uint8_t* dst,
+                          std::size_t len);
+void gf_xor_region_slice8(const std::uint8_t* src, std::uint8_t* dst,
+                          std::size_t len);
+void gf_xor_region_simd(const std::uint8_t* src, std::uint8_t* dst,
+                        std::size_t len);
+
+void gf_affine_combine_scalar(const std::uint8_t* coeffs, std::size_t n_rows,
+                              const std::uint8_t* rows, std::size_t row_stride,
+                              std::uint8_t* dst, std::size_t len);
+void gf_affine_combine_slice8(const std::uint8_t* coeffs, std::size_t n_rows,
+                              const std::uint8_t* rows, std::size_t row_stride,
+                              std::uint8_t* dst, std::size_t len);
+void gf_affine_combine_simd(const std::uint8_t* coeffs, std::size_t n_rows,
+                            const std::uint8_t* rows, std::size_t row_stride,
+                            std::uint8_t* dst, std::size_t len);
+
+/// A precompiled GF(2^8) matrix-vector product: out = vec x M for a fixed
+/// matrix M (n_rows x width), the shape of RS encoding (M = generator
+/// rows, vec = data) and syndrome computation (M = alpha powers, vec =
+/// codeword).
+///
+/// The memory codes in this repository have *narrow* parity (2t <= 8
+/// check bytes) and long input vectors, which is the worst possible shape
+/// for per-row region kernels: a PSHUFB over a 4-byte row is all setup
+/// and no work.  So apply() picks its strategy from the matrix shape, not
+/// just the active kernel:
+///
+///   scalar        the naive per-symbol Field<8>::mul double loop -- the
+///                 oracle, bit-compared against the others in tests.
+///   width <= 8    per-position contribution tables: row r's 256 possible
+///                 products are packed into one uint64 each at build time,
+///                 so apply() is n_rows table loads + XORs regardless of
+///                 kernel (slice8 and simd share this path; a shuffle
+///                 cannot beat an L1 load for a <= 8-byte row).
+///   width  > 8    per-row gf_mul_region_acc in the active kernel.
+///
+/// All strategies are generated from Field<8>::mul, so they are
+/// bit-identical by construction; tests/gf_kernels_test.cpp checks it.
+class GfMatApply {
+ public:
+  GfMatApply() = default;
+
+  /// Compiles `rows` (n_rows x width, row-major, stride == width).
+  GfMatApply(const std::uint8_t* rows, std::size_t n_rows, std::size_t width);
+
+  std::size_t rows() const { return n_rows_; }
+  std::size_t width() const { return width_; }
+
+  /// out[0..width) = xor over r of vec[r] * M[r].  `n` must equal rows().
+  /// Uses the process-wide active kernel.
+  void apply(const std::uint8_t* vec, std::size_t n, std::uint8_t* out) const;
+
+  /// Same, with the kernel pinned (tests compare variants directly).
+  void apply_with(Kernel k, const std::uint8_t* vec, std::size_t n,
+                  std::uint8_t* out) const;
+
+ private:
+  std::size_t n_rows_ = 0;
+  std::size_t width_ = 0;
+  std::vector<std::uint8_t> rows_;      ///< the matrix (oracle + wide path)
+  std::vector<std::uint64_t> tables_;   ///< width<=8: n_rows*256 packed rows
+};
+
+}  // namespace eccsim::gf

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gf/kernels.hpp"
 #include "stats/scope.hpp"
 
 namespace eccsim::gf {
@@ -23,6 +24,33 @@ ReedSolomon<Bits>::ReedSolomon(unsigned n, unsigned k) : n_(n), k_(k) {
       next[i] = F::add(next[i], F::mul(generator_[i], root));
     }
     generator_ = std::move(next);
+  }
+
+  if constexpr (Bits == 8) {
+    // Compile the generator-matrix products for the bulk kernels (see
+    // rs.hpp).  Built once per code instance; the per-call fast paths
+    // are a single GfMatApply each.
+    const unsigned two_t = n_ - k_;
+    std::vector<std::uint8_t> enc_rows(static_cast<std::size_t>(k_) * two_t,
+                                       0);
+    for (unsigned i = 0; i < k_; ++i) {
+      Poly xi(two_t + i + 1, 0);
+      xi[two_t + i] = 1;  // x^{2t+i}
+      Poly rem = poly_mod(std::move(xi), generator_);
+      for (std::size_t j = 0; j < rem.size(); ++j) {
+        enc_rows[static_cast<std::size_t>(i) * two_t + j] = rem[j];
+      }
+    }
+    enc_map_ = GfMatApply(enc_rows.data(), k_, two_t);
+    std::vector<std::uint8_t> syn_rows(static_cast<std::size_t>(n_) * two_t,
+                                       0);
+    for (unsigned i = 0; i < n_; ++i) {
+      for (unsigned j = 0; j < two_t; ++j) {
+        syn_rows[static_cast<std::size_t>(i) * two_t + j] =
+            F::alpha_pow(i * (j + 1));
+      }
+    }
+    syn_map_ = GfMatApply(syn_rows.data(), n_, two_t);
   }
 }
 
@@ -100,6 +128,16 @@ std::vector<typename ReedSolomon<Bits>::Symbol> ReedSolomon<Bits>::parity(
   }
   STATS_SCOPE("codec.rs_encode");
   // Systematic encoding: c(x) = d(x) * x^{2t} + (d(x) * x^{2t} mod g(x)).
+  if constexpr (Bits == 8) {
+    // parity = xor_i data[i] * (x^{2t+i} mod g): one precompiled matrix
+    // apply.  The scalar kernel keeps the original polynomial-division
+    // path below as the oracle.
+    if (active_kernel() != Kernel::kScalar) {
+      std::vector<Symbol> rem(n_ - k_, 0);
+      enc_map_.apply(data.data(), k_, rem.data());
+      return rem;
+    }
+  }
   Poly shifted(n_, 0);
   for (unsigned i = 0; i < k_; ++i) shifted[n_ - k_ + i] = data[i];
   Poly rem = poly_mod(std::move(shifted), generator_);
@@ -120,6 +158,14 @@ template <unsigned Bits>
 typename ReedSolomon<Bits>::Poly ReedSolomon<Bits>::syndromes(
     std::span<const Symbol> codeword) const {
   Poly s(n_ - k_, 0);
+  if constexpr (Bits == 8) {
+    // S_j = xor_i codeword[i] * alpha^{i*j}: the same matrix shape as
+    // encoding, with the codeword bytes as the coefficients.
+    if (active_kernel() != Kernel::kScalar && codeword.size() == n_) {
+      syn_map_.apply(codeword.data(), n_, s.data());
+      return s;
+    }
+  }
   for (unsigned j = 1; j <= n_ - k_; ++j) {
     Symbol acc = 0;
     const Symbol x = F::alpha_pow(j);
@@ -149,23 +195,39 @@ RsDecodeResult ReedSolomon<Bits>::decode(
   STATS_SCOPE("codec.rs_decode");
   RsDecodeResult result;
   const unsigned two_t = n_ - k_;
-  if (erasures.size() > two_t) return result;  // beyond code capability
+
+  // Validate and deduplicate the erasure list up front.  A repeated
+  // position must count once: building Gamma with a squared factor would
+  // inflate the locator degree and could turn a correctable pattern into
+  // a miscorrection.  The bitmap doubles as the O(1) was-this-an-erasure
+  // lookup in the Chien loop below.
+  std::vector<std::uint8_t> erased(n_, 0);
+  std::vector<unsigned> unique_erasures;
+  unique_erasures.reserve(erasures.size());
+  for (unsigned pos : erasures) {
+    if (pos >= n_) throw std::invalid_argument("erasure position out of range");
+    if (erased[pos]) continue;
+    erased[pos] = 1;
+    unique_erasures.push_back(pos);
+  }
 
   Poly s = syndromes(codeword);
   const bool syndrome_zero =
       std::all_of(s.begin(), s.end(), [](Symbol v) { return v == 0; });
   if (syndrome_zero) {
     // Either error-free, or the erased positions happen to hold values that
-    // form a valid codeword (then nothing needs fixing).
+    // form a valid codeword (then nothing needs fixing).  This must be
+    // decided before the capability bound: a clean codeword is clean no
+    // matter how many erasures the caller over-declared.
     result.ok = true;
     return result;
   }
   result.detected_error = true;
+  if (unique_erasures.size() > two_t) return result;  // beyond code capability
 
   // Erasure locator Gamma(x) = prod (1 + alpha^{pos} x).
   Poly gamma = {1};
-  for (unsigned pos : erasures) {
-    if (pos >= n_) throw std::invalid_argument("erasure position out of range");
+  for (unsigned pos : unique_erasures) {
     gamma = poly_mul(gamma, Poly{1, F::alpha_pow(pos)});
   }
 
@@ -177,8 +239,8 @@ RsDecodeResult ReedSolomon<Bits>::decode(
   // Sugiyama: run extended Euclid on (x^{2t}, Xi) until
   // deg(remainder) < (2t + e) / 2.  The Bezout coefficient of Xi is the
   // error locator Lambda; the remainder is the evaluator Omega.
-  const int target_deg =
-      static_cast<int>((two_t + static_cast<unsigned>(erasures.size())) / 2);
+  const int target_deg = static_cast<int>(
+      (two_t + static_cast<unsigned>(unique_erasures.size())) / 2);
   Poly r_prev(two_t + 1, 0);
   r_prev[two_t] = 1;  // x^{2t}
   Poly r_cur = xi;
@@ -237,7 +299,13 @@ RsDecodeResult ReedSolomon<Bits>::decode(
     psi_deriv[i - 1] = psi[i];
   }
 
-  // Chien search: position p is corrupt iff Psi(alpha^{-p}) == 0.
+  // Chien search: position p is corrupt iff Psi(alpha^{-p}) == 0.  The
+  // loop below is the only writer of `codeword`, so snapshotting here is
+  // what lets every later failure return restore the caller's input.
+  const std::vector<Symbol> snapshot(codeword.begin(), codeword.end());
+  const auto restore = [&] {
+    std::copy(snapshot.begin(), snapshot.end(), codeword.begin());
+  };
   unsigned found = 0;
   unsigned fixed_errors = 0;
   unsigned fixed_erasures = 0;
@@ -246,19 +314,26 @@ RsDecodeResult ReedSolomon<Bits>::decode(
     if (poly_eval(psi, x_inv) != 0) continue;
     ++found;
     const Symbol denom = poly_eval(psi_deriv, x_inv);
-    if (denom == 0) return result;  // repeated root: decode failure
+    if (denom == 0) {  // repeated root: decode failure
+      restore();
+      return result;
+    }
     // Forney (b = 1 convention): magnitude = Omega(X^-1) / Psi'(X^-1).
     const Symbol mag = F::div(poly_eval(omega, x_inv), denom);
     codeword[p] = F::add(codeword[p], mag);
-    const bool was_erasure =
-        std::find(erasures.begin(), erasures.end(), p) != erasures.end();
-    if (was_erasure) ++fixed_erasures;
+    if (erased[p]) ++fixed_erasures;
     else ++fixed_errors;
   }
-  if (found != static_cast<unsigned>(psi_deg)) return result;  // failure
+  if (found != static_cast<unsigned>(psi_deg)) {  // failure
+    restore();
+    return result;
+  }
 
   // Verify: recompute syndromes on the corrected word.
-  if (!check(codeword)) return result;
+  if (!check(codeword)) {
+    restore();
+    return result;
+  }
   result.ok = true;
   result.corrected_errors = fixed_errors;
   result.corrected_erasures = fixed_erasures;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "gf/gf.hpp"
+#include "gf/kernels.hpp"
 
 namespace eccsim::gf {
 
@@ -68,9 +69,10 @@ class ReedSolomon {
   bool check(std::span<const Symbol> codeword) const;
 
   /// Corrects `codeword` in place.  `erasures` lists known-bad positions
-  /// (0-based codeword indices, each < n, no duplicates).  Returns the
-  /// decode outcome; on failure (`!ok`) the codeword may be partially
-  /// modified and must be discarded by the caller.
+  /// (0-based codeword indices, each < n); duplicate positions are
+  /// deduplicated and count once toward the capability bound.  Returns
+  /// the decode outcome; on failure (`!ok`) the codeword is restored to
+  /// exactly the input, so callers never observe a partial correction.
   RsDecodeResult decode(std::span<Symbol> codeword,
                         std::span<const unsigned> erasures = {}) const;
 
@@ -88,6 +90,15 @@ class ReedSolomon {
   unsigned n_;
   unsigned k_;
   Poly generator_;  // degree n-k, roots alpha^1..alpha^{n-k}
+
+  // GF(2^8) kernel acceleration (unused for other fields): precompiled
+  // generator-matrix products.  enc_map_ holds k rows of x^{2t+i} mod
+  // g(x), so parity is one matrix apply over the data; syn_map_ holds n
+  // rows of alpha^{i*j}, so the syndrome vector is one apply over the
+  // codeword.  The scalar kernel bypasses these and runs the original
+  // per-symbol loops, which is what makes it the oracle.
+  GfMatApply enc_map_;
+  GfMatApply syn_map_;
 };
 
 using Rs8 = ReedSolomon<8>;

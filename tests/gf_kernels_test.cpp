@@ -1,0 +1,257 @@
+// Kernel-equivalence suite for the bulk GF(2^8) region primitives.
+//
+// The contract under test is absolute: every kernel (slice8, simd) must
+// produce byte-for-byte the scalar oracle's output for every coefficient,
+// every length 0..257, and every source/destination alignment -- because
+// the RS codecs dispatch on CPU features at runtime, any divergence would
+// make simulation results depend on the host.  The dispatch surface
+// (ECCSIM_KERNEL parsing, unavailable-kernel rejection) is covered with
+// the same exit-code-2 convention as the bench flag parser.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gf/gf.hpp"
+#include "gf/kernels.hpp"
+#include "gf/rs.hpp"
+
+namespace eccsim::gf {
+namespace {
+
+using MulFn = void (*)(std::uint8_t, const std::uint8_t*, std::uint8_t*,
+                       std::size_t);
+using XorFn = void (*)(const std::uint8_t*, std::uint8_t*, std::size_t);
+
+constexpr std::size_t kMaxLen = 257;   // beyond every vector width multiple
+constexpr std::size_t kMaxAlign = 16;  // every offset within a SIMD lane
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> v(len);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return v;
+}
+
+/// Runs `fn` against the scalar reference over all lengths and alignments.
+/// Buffers are over-allocated and offset so loads/stores land on every
+/// byte alignment; guard bytes detect out-of-range writes.
+void check_mul_matches_scalar(MulFn fn, MulFn ref, bool acc,
+                              const char* name) {
+  Rng rng(0x5eed + static_cast<unsigned>(acc));
+  for (std::size_t align = 0; align < kMaxAlign; ++align) {
+    for (std::size_t len = 0; len <= kMaxLen;
+         len += (len < 40 ? 1 : 7)) {  // dense near 0, sampled beyond
+      const std::uint8_t c =
+          static_cast<std::uint8_t>(rng.next_below(256));
+      const auto src_buf = random_bytes(rng, align + len);
+      const auto dst_init = random_bytes(rng, align + len + 1);
+      std::vector<std::uint8_t> got = dst_init;
+      std::vector<std::uint8_t> want = dst_init;
+      if (!acc) {
+        // Non-accumulating: dst contents must be fully overwritten.
+        std::fill(got.begin(), got.end(), 0xAA);
+        std::fill(want.begin(), want.end(), 0xAA);
+      }
+      fn(c, src_buf.data() + align, got.data() + align, len);
+      ref(c, src_buf.data() + align, want.data() + align, len);
+      ASSERT_EQ(got, want) << name << " c=" << unsigned(c)
+                           << " len=" << len << " align=" << align;
+    }
+  }
+  // In-place aliasing (src == dst) is part of the contract.
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 64u, 255u}) {
+    const std::uint8_t c = static_cast<std::uint8_t>(rng.next_below(256));
+    auto got = random_bytes(rng, len);
+    auto want = got;
+    fn(c, got.data(), got.data(), len);
+    ref(c, want.data(), want.data(), len);
+    ASSERT_EQ(got, want) << name << " in-place len=" << len;
+  }
+}
+
+TEST(GfKernels, Slice8MulRegionMatchesScalar) {
+  check_mul_matches_scalar(gf_mul_region_slice8, gf_mul_region_scalar,
+                           false, "slice8 mul");
+}
+
+TEST(GfKernels, Slice8MulRegionAccMatchesScalar) {
+  check_mul_matches_scalar(gf_mul_region_acc_slice8,
+                           gf_mul_region_acc_scalar, true, "slice8 acc");
+}
+
+TEST(GfKernels, SimdMulRegionMatchesScalar) {
+  if (!kernel_available(Kernel::kSimd)) GTEST_SKIP() << "no SSSE3";
+  check_mul_matches_scalar(gf_mul_region_simd, gf_mul_region_scalar, false,
+                           "simd mul");
+}
+
+TEST(GfKernels, SimdMulRegionAccMatchesScalar) {
+  if (!kernel_available(Kernel::kSimd)) GTEST_SKIP() << "no SSSE3";
+  check_mul_matches_scalar(gf_mul_region_acc_simd, gf_mul_region_acc_scalar,
+                           true, "simd acc");
+}
+
+TEST(GfKernels, XorRegionMatchesScalarAllKernels) {
+  const XorFn fns[] = {gf_xor_region_slice8, gf_xor_region_simd};
+  Rng rng(0xA5A5);
+  for (XorFn fn : fns) {
+    for (std::size_t align = 0; align < kMaxAlign; ++align) {
+      for (std::size_t len = 0; len <= kMaxLen; len += 3) {
+        const auto src = random_bytes(rng, align + len);
+        const auto init = random_bytes(rng, align + len);
+        auto got = init;
+        auto want = init;
+        fn(src.data() + align, got.data() + align, len);
+        gf_xor_region_scalar(src.data() + align, want.data() + align, len);
+        ASSERT_EQ(got, want) << "len=" << len << " align=" << align;
+      }
+    }
+  }
+}
+
+TEST(GfKernels, AffineCombineMatchesScalarAllKernels) {
+  using CombineFn = void (*)(const std::uint8_t*, std::size_t,
+                             const std::uint8_t*, std::size_t, std::uint8_t*,
+                             std::size_t);
+  std::vector<CombineFn> fns = {gf_affine_combine_slice8};
+  if (kernel_available(Kernel::kSimd)) fns.push_back(gf_affine_combine_simd);
+  Rng rng(0xC0DE);
+  for (CombineFn fn : fns) {
+    for (std::size_t n_rows : {0u, 1u, 2u, 5u, 32u, 255u}) {
+      for (std::size_t len : {0u, 1u, 2u, 4u, 16u, 31u, 32u, 257u}) {
+        const std::size_t stride = len + rng.next_below(3);  // padded rows ok
+        const auto rows = random_bytes(rng, n_rows * stride + 1);
+        const auto coeffs = random_bytes(rng, n_rows);
+        std::vector<std::uint8_t> got(len + 1, 0xEE);
+        std::vector<std::uint8_t> want(len + 1, 0xEE);
+        fn(coeffs.data(), n_rows, rows.data(), stride, got.data(), len);
+        gf_affine_combine_scalar(coeffs.data(), n_rows, rows.data(), stride,
+                                 want.data(), len);
+        ASSERT_EQ(got, want) << "rows=" << n_rows << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(GfKernels, MatApplyMatchesScalarAllShapes) {
+  // The matrix-apply strategies (contribution tables for width <= 8,
+  // per-row combines beyond) must agree with the scalar double loop for
+  // every shape class, including the codec shapes (width 2 and 4).
+  Rng rng(0x3A7);
+  std::vector<Kernel> kernels = {Kernel::kSlice8};
+  if (kernel_available(Kernel::kSimd)) kernels.push_back(Kernel::kSimd);
+  for (std::size_t n_rows : {0u, 1u, 2u, 32u, 36u, 255u}) {
+    for (std::size_t width : {1u, 2u, 4u, 8u, 9u, 32u}) {
+      const auto rows = random_bytes(rng, n_rows * width);
+      const GfMatApply m(rows.data(), n_rows, width);
+      for (int trial = 0; trial < 20; ++trial) {
+        const auto vec = random_bytes(rng, n_rows);
+        std::vector<std::uint8_t> want(width, 0xEE);
+        m.apply_with(Kernel::kScalar, vec.data(), n_rows, want.data());
+        for (Kernel k : kernels) {
+          std::vector<std::uint8_t> got(width, 0x11);
+          m.apply_with(k, vec.data(), n_rows, got.data());
+          ASSERT_EQ(got, want) << kernel_name(k) << " rows=" << n_rows
+                               << " width=" << width;
+        }
+      }
+    }
+  }
+}
+
+TEST(GfKernels, ScalarOracleIsFieldMul) {
+  // The oracle itself must be Field<8>::mul exactly -- everything else is
+  // transitively pinned to it.
+  std::uint8_t src[256], dst[256];
+  for (unsigned x = 0; x < 256; ++x) src[x] = static_cast<std::uint8_t>(x);
+  for (unsigned c = 0; c < 256; ++c) {
+    gf_mul_region_scalar(static_cast<std::uint8_t>(c), src, dst, 256);
+    for (unsigned x = 0; x < 256; ++x) {
+      ASSERT_EQ(dst[x], GF256::mul(static_cast<std::uint8_t>(c),
+                                   static_cast<std::uint8_t>(x)));
+    }
+  }
+}
+
+TEST(GfKernels, RsEncodeIdenticalUnderEveryKernel) {
+  // End-to-end: the codec the simulator actually runs must emit the same
+  // codeword whichever kernel is active.
+  Rng rng(0xE2E);
+  Rs8 rs(36, 32);
+  std::vector<Kernel> kernels = {Kernel::kScalar, Kernel::kSlice8};
+  if (kernel_available(Kernel::kSimd)) kernels.push_back(Kernel::kSimd);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto data = random_bytes(rng, 32);
+    std::vector<std::vector<std::uint8_t>> codewords;
+    for (Kernel k : kernels) {
+      const Kernel prev = set_kernel_override(k);
+      codewords.push_back(rs.encode(data));
+      set_kernel_override(prev);
+    }
+    for (std::size_t i = 1; i < codewords.size(); ++i) {
+      ASSERT_EQ(codewords[i], codewords[0])
+          << "kernel " << kernel_name(kernels[i]) << " trial " << trial;
+    }
+  }
+}
+
+TEST(GfKernels, RsDecodeIdenticalUnderEveryKernel) {
+  Rng rng(0xDEC);
+  Rs8 rs(36, 32);
+  std::vector<Kernel> kernels = {Kernel::kScalar, Kernel::kSlice8};
+  if (kernel_available(Kernel::kSimd)) kernels.push_back(Kernel::kSimd);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto data = random_bytes(rng, 32);
+    const auto cw = rs.encode(data);
+    auto corrupted = cw;
+    const unsigned p0 = static_cast<unsigned>(rng.next_below(36));
+    corrupted[p0] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    for (Kernel k : kernels) {
+      const Kernel prev = set_kernel_override(k);
+      auto attempt = corrupted;
+      const RsDecodeResult r = rs.decode(attempt);
+      set_kernel_override(prev);
+      ASSERT_TRUE(r.ok) << kernel_name(k);
+      ASSERT_EQ(attempt, cw) << kernel_name(k) << " trial " << trial;
+    }
+  }
+}
+
+TEST(GfKernels, KernelNamesRoundTrip) {
+  EXPECT_STREQ(kernel_name(Kernel::kScalar), "scalar");
+  EXPECT_STREQ(kernel_name(Kernel::kSlice8), "slice8");
+  EXPECT_STREQ(kernel_name(Kernel::kSimd), "simd");
+  EXPECT_TRUE(kernel_available(Kernel::kScalar));
+  EXPECT_TRUE(kernel_available(Kernel::kSlice8));
+}
+
+TEST(GfKernels, ResolveHonorsEnvOverride) {
+  // resolve_kernel_from_env re-reads the environment on every call, so the
+  // test can drive it directly without forking.
+  ::setenv("ECCSIM_KERNEL", "scalar", 1);
+  EXPECT_EQ(resolve_kernel_from_env(), Kernel::kScalar);
+  ::setenv("ECCSIM_KERNEL", "slice8", 1);
+  EXPECT_EQ(resolve_kernel_from_env(), Kernel::kSlice8);
+  ::unsetenv("ECCSIM_KERNEL");
+  const Kernel def = resolve_kernel_from_env();
+  EXPECT_TRUE(def == Kernel::kSimd || def == Kernel::kSlice8);
+  EXPECT_TRUE(kernel_available(def));
+}
+
+using GfKernelsDeathTest = ::testing::Test;
+
+TEST(GfKernelsDeathTest, UnknownEnvValueExits2) {
+  // Same convention as an unknown bench flag: a typo must not silently
+  // run the default kernel and mislabel a measurement.
+  EXPECT_EXIT(
+      {
+        ::setenv("ECCSIM_KERNEL", "turbo", 1);
+        resolve_kernel_from_env();
+      },
+      ::testing::ExitedWithCode(2), "ECCSIM_KERNEL");
+}
+
+}  // namespace
+}  // namespace eccsim::gf

@@ -7,6 +7,7 @@
 // codec's correction bits are linear over GF(2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <tuple>
 #include <vector>
@@ -125,6 +126,88 @@ TEST_P(RsPropertyTest, DetectsUpTo2TErasureWorthOfKnownDamage) {
     }
     EXPECT_FALSE(rs.check(cw)) << "damage=" << damage;
   }
+}
+
+TEST_P(RsPropertyTest, CleanCodewordDecodesDespiteOverdeclaredErasures) {
+  // Regression: decode used to apply the capability bound before looking
+  // at the syndromes, so a clean codeword arriving with more than 2t
+  // declared erasures was reported uncorrectable.  A zero syndrome means
+  // nothing needs fixing no matter what the caller suspected.
+  Rs8 rs(n(), k());
+  Rng rng(600 + n());
+  for (int trial = 0; trial < 25; ++trial) {
+    auto cw = rs.encode(random_data(rng));
+    const auto orig = cw;
+    std::vector<unsigned> erasures(std::min(n(), two_t() + 1));
+    std::iota(erasures.begin(), erasures.end(), 0);
+    const auto res = rs.decode(cw, erasures);
+    EXPECT_TRUE(res.ok) << "declared=" << erasures.size()
+                        << " capability=" << two_t();
+    EXPECT_FALSE(res.detected_error);
+    EXPECT_EQ(cw, orig);
+  }
+}
+
+TEST_P(RsPropertyTest, DuplicateErasurePositionsCountOnce) {
+  // Regression: duplicated positions used to square the corresponding
+  // Gamma factor, inflating the locator degree.  A duplicated list must
+  // decode exactly like its deduplicated form -- including at full
+  // erasure capability, where one phantom extra erasure would push the
+  // decoder past its bound.
+  Rs8 rs(n(), k());
+  Rng rng(700 + n());
+  const unsigned e = std::min(two_t(), n() - 1);
+  if (e == 0) return;
+  for (int trial = 0; trial < 25; ++trial) {
+    auto cw = rs.encode(random_data(rng));
+    const auto orig = cw;
+    std::vector<unsigned> pos(n());
+    std::iota(pos.begin(), pos.end(), 0);
+    std::shuffle(pos.begin(), pos.end(), rng);
+    std::vector<unsigned> erasures(pos.begin(), pos.begin() + e);
+    for (unsigned i = 0; i < e; ++i) {
+      cw[pos[i]] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    // Duplicate every erasure (and repeat the first one twice more).
+    std::vector<unsigned> duplicated = erasures;
+    duplicated.insert(duplicated.end(), erasures.begin(), erasures.end());
+    duplicated.push_back(erasures[0]);
+    const auto res = rs.decode(cw, duplicated);
+    ASSERT_TRUE(res.ok) << "e=" << e;
+    EXPECT_EQ(res.corrected_erasures + res.corrected_errors, e);
+    EXPECT_EQ(cw, orig);
+  }
+}
+
+TEST_P(RsPropertyTest, FailedDecodeRestoresInput) {
+  // Regression: a failed decode used to leave whatever partial correction
+  // the Chien/Forney pass had applied.  Overwhelm the code (2t+1 unknown
+  // errors, which at minimum distance 2t+1 can also miscorrect -- both
+  // outcomes are exercised across trials) and require that every !ok
+  // return hands back the exact input bytes.
+  Rs8 rs(n(), k());
+  Rng rng(800 + n());
+  const unsigned damage = two_t() + 1;
+  if (damage > n()) return;
+  unsigned failures = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto cw = rs.encode(random_data(rng));
+    std::vector<unsigned> pos(n());
+    std::iota(pos.begin(), pos.end(), 0);
+    std::shuffle(pos.begin(), pos.end(), rng);
+    for (unsigned i = 0; i < damage; ++i) {
+      cw[pos[i]] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    const auto before = cw;
+    const auto res = rs.decode(cw);
+    if (res.ok) continue;  // miscorrection to a nearby codeword: legal
+    ++failures;
+    EXPECT_TRUE(res.detected_error);
+    EXPECT_EQ(cw, before) << "failed decode must restore its input";
+  }
+  // With 2t+1 random errors most trials must fail outright; if this ever
+  // trips, the damage model above stopped exercising the failure path.
+  EXPECT_GT(failures, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
