@@ -1,0 +1,105 @@
+#!/bin/sh
+# Byte-identity and cache round-trip gate for the fleet subsystem.
+#
+# Usage: ./scripts/fleet_identity_check.sh <fleetd-binary>
+#   e.g. ./scripts/fleet_identity_check.sh build/tools/fleetd/fleetd
+#
+# Part 1 -- sharding identity (the src/fleet coordinator contract, see
+# docs/CHECKPOINTS.md): the heterogeneous demo spec, smoke-scaled, is
+# evaluated at shards 1, 2, and 8 in-process and at shards 4 as spawned
+# `fleetd --worker` processes.  All four result JSONs must be
+# byte-identical (they carry no timestamps or execution-mode fields by
+# design).
+#
+# Part 2 -- daemon cache round-trip (docs/OBSERVABILITY.md): a served
+# `fleetd serve` daemon gets the same spec submitted twice over its
+# Unix-domain socket.  The first submit simulates and populates
+# <results>/cache/<config_hash>.json, which must be byte-identical to the
+# direct runs; the second must be answered from the cache (response
+# cache_hit:true and a req-2 manifest recording the hit).
+set -e
+
+bin=$1
+if [ -z "$bin" ] || [ ! -x "$bin" ]; then
+  echo "usage: $0 <fleetd-binary>" >&2
+  exit 2
+fi
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+spec=examples/fleet_demo.json
+scale=50
+
+echo "[fleet-identity] shards 1 (in-process, 1 thread)" >&2
+"$bin" run --spec "$spec" --scale $scale --shards 1 --threads 1 \
+  --out "$work/s1.json" >/dev/null
+echo "[fleet-identity] shards 2 (in-process)" >&2
+"$bin" run --spec "$spec" --scale $scale --shards 2 \
+  --out "$work/s2.json" >/dev/null
+echo "[fleet-identity] shards 8 (in-process)" >&2
+"$bin" run --spec "$spec" --scale $scale --shards 8 \
+  --out "$work/s8.json" >/dev/null
+echo "[fleet-identity] shards 4 (worker processes)" >&2
+"$bin" run --spec "$spec" --scale $scale --shards 4 --mode worker \
+  --work-dir "$work/units" --out "$work/w4.json" >/dev/null
+
+for f in s2 s8 w4; do
+  if ! cmp -s "$work/s1.json" "$work/$f.json"; then
+    echo "[fleet-identity] FAIL: $f.json differs from s1.json" >&2
+    diff "$work/s1.json" "$work/$f.json" >&2 || true
+    exit 1
+  fi
+done
+echo "[fleet-identity] merged results byte-identical across shard plans" >&2
+
+# The daemon submits a spec *file*, so materialize the scaled fleet the
+# shard runs evaluated (divide every pool's node count by the factor,
+# floor 1 -- the scale_nodes rule).
+python3 - "$spec" "$work/spec.json" $scale <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for pool in doc["pools"]:
+    pool["nodes"] = max(1, pool["nodes"] // int(sys.argv[3]))
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+hash=$("$bin" hash --spec "$work/spec.json")
+
+echo "[fleet-identity] starting fleetd daemon" >&2
+"$bin" serve --socket "$work/d.sock" --results "$work/fleet" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  if "$bin" ping --socket "$work/d.sock" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+echo "[fleet-identity] submit #1 (must simulate)" >&2
+"$bin" submit --socket "$work/d.sock" --spec "$work/spec.json" --wait \
+  >"$work/sub1.out"
+grep -q '"cache_hit": false' "$work/sub1.out"
+
+if ! cmp -s "$work/s1.json" "$work/fleet/cache/$hash.json"; then
+  echo "[fleet-identity] FAIL: daemon cache differs from direct runs" >&2
+  diff "$work/s1.json" "$work/fleet/cache/$hash.json" >&2 || true
+  exit 1
+fi
+
+echo "[fleet-identity] submit #2 (must hit the cache)" >&2
+"$bin" submit --socket "$work/d.sock" --spec "$work/spec.json" \
+  >"$work/sub2.out"
+grep -q '"cache_hit": true' "$work/sub2.out"
+grep -q '"state": "cached"' "$work/sub2.out"
+grep -q '"cache_hit": "false"' "$work/fleet/manifests/req-1.json"
+grep -q '"cache_hit": "true"' "$work/fleet/manifests/req-2.json"
+
+"$bin" results --socket "$work/d.sock" --hash "$hash" >/dev/null
+"$bin" shutdown --socket "$work/d.sock" >/dev/null
+wait "$daemon_pid"
+daemon_pid=""
+echo "[fleet-identity] daemon round-trip OK (hash $hash): PASS" >&2

@@ -82,6 +82,21 @@ for b in build/bench/*; do
 done
 echo "all $n bench binaries done in $(($(date +%s) - start))s" >&2
 
+# Fleet demo (src/fleet, docs/ARCHITECTURE.md): the heterogeneous
+# ddr3/ddr4/ddr5 spec mixing isolated and cross-parity ECC schemes,
+# evaluated through the sharded coordinator.  Smoke runs shrink every
+# pool 20x and quarantine the result under results/fleet/smoke/; full
+# runs evaluate all 48k nodes into results/fleet/demo.json.
+if [ -x build/tools/fleetd/fleetd ]; then
+  if [ "${ECCSIM_SMOKE:-0}" != 0 ]; then
+    ./build/tools/fleetd/fleetd run --spec examples/fleet_demo.json \
+      --scale 20 --shards 4 --out results/fleet/smoke/demo.json
+  else
+    ./build/tools/fleetd/fleetd run --spec examples/fleet_demo.json \
+      --shards 4 --out results/fleet/demo.json
+  fi
+fi
+
 if [ -s "$profiles" ]; then
   {
     echo ""

@@ -1,0 +1,436 @@
+#include "fleet/service.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/heartbeat.hpp"
+#include "obs/manifest.hpp"
+#include "obs/run_info.hpp"
+#include "runner/json.hpp"
+
+namespace eccsim::fleet {
+
+namespace {
+
+/// Caps a request line; a client that streams more than this without a
+/// newline is broken, not big.
+constexpr std::size_t kMaxRequestBytes = 4u << 20;
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("fleet: socket write failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the first newline (exclusive) or EOF.
+std::string read_line(int fd) {
+  std::string line;
+  char buf[4096];
+  while (line.size() < kMaxRequestBytes) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("fleet: socket read failed");
+    }
+    if (n == 0) break;
+    line.append(buf, static_cast<std::size_t>(n));
+    const std::size_t nl = line.find('\n');
+    if (nl != std::string::npos) {
+      line.resize(nl);
+      return line;
+    }
+  }
+  return line;
+}
+
+runner::Json error_response(const std::string& message,
+                            bool retryable = false) {
+  runner::Json doc = runner::Json::object();
+  doc.set("ok", false);
+  doc.set("error", message);
+  if (retryable) doc.set("retryable", true);
+  return doc;
+}
+
+/// Deterministic backpressure hook for tests: stalls every job by
+/// ECCSIM_FLEET_JOB_DELAY_MS milliseconds so a bounded queue can be
+/// filled reliably.  Unset (the normal case) means no delay.
+void test_job_delay() {
+  const char* ms = std::getenv("ECCSIM_FLEET_JOB_DELAY_MS");
+  if (!ms || !*ms) return;
+  const long v = std::strtol(ms, nullptr, 10);
+  if (v > 0) std::this_thread::sleep_for(std::chrono::milliseconds(v));
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opts) : opts_(std::move(opts)) {}
+
+Service::~Service() { stop(); }
+
+void Service::start() {
+  if (opts_.socket_path.empty()) {
+    throw std::runtime_error("fleet: service needs a socket path");
+  }
+  std::filesystem::create_directories(opts_.results_dir + "/cache");
+  std::filesystem::create_directories(opts_.results_dir + "/manifests");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("fleet: socket path too long: " +
+                             opts_.socket_path);
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("fleet: socket() failed");
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("fleet: cannot listen on " + opts_.socket_path);
+  }
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  executor_thread_ = std::thread([this] { executor_loop(); });
+}
+
+void Service::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && accept_thread_.joinable() == false &&
+        executor_thread_.joinable() == false) {
+      return;  // already fully stopped
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  done_cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (executor_thread_.joinable()) executor_thread_.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& t : sessions) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
+  }
+}
+
+void Service::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return stopping_; });
+}
+
+std::uint64_t Service::requests_served() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return requests_;
+}
+
+void Service::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (stop or shutdown op)
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    sessions_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Service::handle_connection(int fd) {
+  runner::Json response;
+  try {
+    const runner::Json request = runner::Json::parse(read_line(fd));
+    response = handle_request(request);
+  } catch (const std::exception& e) {
+    response = error_response(e.what());
+  }
+  try {
+    write_all(fd, response.dump(0) + "\n");
+  } catch (const std::exception&) {
+    // Client hung up before the response; nothing left to do.
+  }
+  ::close(fd);
+}
+
+runner::Json Service::handle_request(const runner::Json& req) {
+  if (!req.is_object() || !req.contains("schema") ||
+      req.at("schema").as_string() != "eccsim.fleetreq/1") {
+    return error_response("expected an eccsim.fleetreq/1 envelope");
+  }
+  const std::string op =
+      req.contains("op") ? req.at("op").as_string() : "";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++requests_;
+  }
+
+  if (op == "ping") {
+    runner::Json doc = runner::Json::object();
+    doc.set("ok", true);
+    doc.set("op", "ping");
+    return doc;
+  }
+  if (op == "shutdown") {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    done_cv_.notify_all();
+    // Unblock accept(); the owner thread (wait() caller) runs stop() and
+    // joins -- a session thread must never join itself.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    runner::Json doc = runner::Json::object();
+    doc.set("ok", true);
+    doc.set("op", "shutdown");
+    return doc;
+  }
+  if (op == "submit") {
+    return handle_submit(req);
+  }
+  if (op == "status" || op == "results") {
+    std::string hash;
+    if (req.contains("hash")) {
+      hash = req.at("hash").as_string();
+    } else if (req.contains("spec")) {
+      hash = config_hash(spec_from_json(req.at("spec")));
+    } else {
+      return error_response(op + " needs a 'hash' or a 'spec'");
+    }
+    runner::Json doc = runner::Json::object();
+    doc.set("ok", true);
+    doc.set("op", op);
+    doc.set("hash", hash);
+    if (op == "status") {
+      std::lock_guard<std::mutex> lk(mu_);
+      doc.set("state", job_state_locked(hash));
+      doc.set("queue_depth", static_cast<std::uint64_t>(queue_.size()));
+      return doc;
+    }
+    const std::string path = cache_path(hash);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return error_response("no cached result for " + hash);
+    std::ostringstream os;
+    os << in.rdbuf();
+    doc.set("result", runner::Json::parse(os.str()));
+    return doc;
+  }
+  return error_response("unknown op '" + op + "'");
+}
+
+runner::Json Service::handle_submit(const runner::Json& req) {
+  if (!req.contains("spec")) {
+    return error_response("submit needs a 'spec'");
+  }
+  const FleetSpec spec = spec_from_json(req.at("spec"));
+  const std::string diag = validate(spec);
+  if (!diag.empty()) return error_response(diag);
+  const std::string hash = config_hash(spec);
+  const bool wait_done =
+      req.contains("wait") && req.at("wait").as_bool();
+
+  const bool cache_hit = std::filesystem::exists(cache_path(hash));
+  std::size_t job_index = 0;
+  std::string state;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    seq = ++manifests_;
+    if (cache_hit) {
+      state = "cached";
+    } else {
+      state = job_state_locked(hash);
+      bool found = false;
+      for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i].hash == hash && jobs_[i].state != JobState::kFailed) {
+          job_index = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        if (queue_.size() >= opts_.queue_capacity) {
+          return error_response("queue full", /*retryable=*/true);
+        }
+        Job job;
+        job.hash = hash;
+        job.spec = spec;
+        jobs_.push_back(std::move(job));
+        job_index = jobs_.size() - 1;
+        queue_.push_back(job_index);
+        state = "queued";
+        queue_cv_.notify_one();
+      }
+    }
+  }
+
+  // Per-request manifest: the cache-hit flag here is what the identity
+  // check and tests/fleet_test.cpp assert on.
+  obs::Manifest m;
+  m.tool = "fleetd";
+  m.git_sha = obs::git_head_sha();
+  m.host = obs::hostname();
+  m.host_cpus = obs::cpu_count();
+  m.started_utc = obs::utc_timestamp();
+  m.finished_utc = m.started_utc;
+  m.status = "completed";
+  m.extra.emplace_back("op", "submit");
+  m.extra.emplace_back("config_hash", hash);
+  m.extra.emplace_back("cache_hit", cache_hit ? "true" : "false");
+  obs::write_manifest(
+      opts_.results_dir + "/manifests/req-" + std::to_string(seq) + ".json",
+      m);
+
+  if (!cache_hit && wait_done) {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this, job_index] {
+      return stopping_ || jobs_[job_index].state == JobState::kDone ||
+             jobs_[job_index].state == JobState::kFailed;
+    });
+    if (jobs_[job_index].state == JobState::kFailed) {
+      return error_response(jobs_[job_index].error);
+    }
+    state = jobs_[job_index].state == JobState::kDone ? "done" : state;
+  }
+
+  runner::Json doc = runner::Json::object();
+  doc.set("ok", true);
+  doc.set("op", "submit");
+  doc.set("hash", hash);
+  doc.set("state", state);
+  doc.set("cache_hit", cache_hit);
+  return doc;
+}
+
+void Service::executor_loop() {
+  while (true) {
+    std::size_t job_index = 0;
+    FleetSpec spec;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with nothing pending
+      job_index = queue_.front();
+      queue_.pop_front();
+      jobs_[job_index].state = JobState::kRunning;
+      spec = jobs_[job_index].spec;
+    }
+    test_job_delay();
+    std::string error;
+    try {
+      Coordinator coordinator(spec);
+      RunOptions run = opts_.run;
+      if (run.mode == RunOptions::Mode::kWorkerProcess &&
+          run.work_dir.empty()) {
+        run.work_dir = opts_.results_dir + "/work/" + config_hash(spec);
+      }
+      run.heartbeat = &obs::Heartbeat::global();
+      const FleetResult result = coordinator.run(run);
+      obs::atomic_write_file(cache_path(config_hash(spec)),
+                             result_to_json(result).dump(2) + "\n");
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      jobs_[job_index].state =
+          error.empty() ? JobState::kDone : JobState::kFailed;
+      jobs_[job_index].error = error;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+std::string Service::cache_path(const std::string& hash) const {
+  return opts_.results_dir + "/cache/" + hash + ".json";
+}
+
+std::string Service::job_state_locked(const std::string& hash) const {
+  if (std::filesystem::exists(cache_path(hash))) return "cached";
+  for (const Job& job : jobs_) {
+    if (job.hash != hash) continue;
+    switch (job.state) {
+      case JobState::kQueued:
+        return "queued";
+      case JobState::kRunning:
+        return "running";
+      case JobState::kDone:
+        return "cached";  // done implies the cache file exists
+      case JobState::kFailed:
+        return "failed";
+    }
+  }
+  return "unknown";
+}
+
+runner::Json fleet_request(const std::string& socket_path,
+                           const runner::Json& request) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("fleet: socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("fleet: socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("fleet: cannot connect to " + socket_path);
+  }
+  std::string response;
+  try {
+    write_all(fd, request.dump(0) + "\n");
+    response = read_line(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return runner::Json::parse(response);
+}
+
+runner::Json make_request(const std::string& op) {
+  runner::Json doc = runner::Json::object();
+  doc.set("schema", "eccsim.fleetreq/1");
+  doc.set("op", op);
+  return doc;
+}
+
+}  // namespace eccsim::fleet

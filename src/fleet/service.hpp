@@ -1,0 +1,128 @@
+// Service shape of the fleet subsystem: a long-running daemon on a local
+// Unix-domain socket.
+//
+// Layer (3).  Clients connect, send one `eccsim.fleetreq/1` JSON request
+// terminated by a newline, read one JSON response line, and disconnect.
+// The daemon serves concurrent sessions (thread per connection), feeds
+// accepted sweeps through a bounded FIFO queue with backpressure (a full
+// queue rejects the submit rather than blocking the socket), and executes
+// one job at a time on a single executor thread -- the job itself fans out
+// through the Coordinator.
+//
+// Results are cached under <results_dir>/cache/<config_hash>.json, keyed
+// by fleet::config_hash of the *normalized* spec, so a repeated sweep --
+// whatever the field order or defaulting of the submitted document -- is
+// answered from the cache without re-simulation.  Every submit writes a
+// per-request manifest (<results_dir>/manifests/req-<seq>.json) through
+// src/obs recording the config hash and whether it was a cache hit.
+//
+// Request ops (full schema in docs/OBSERVABILITY.md):
+//   ping      liveness probe
+//   submit    enqueue a spec (or hit the cache); "wait": true blocks the
+//             session until the job finishes
+//   status    job state for a config hash: cached | queued | running |
+//             unknown, plus the current queue depth
+//   results   inline the cached result document for a config hash
+//   shutdown  acknowledge, then stop serving
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/coordinator.hpp"
+
+namespace eccsim::runner {
+class Json;
+}
+
+namespace eccsim::fleet {
+
+struct ServiceOptions {
+  /// Unix-domain socket path.  Keep it short: sockaddr_un caps the path
+  /// around 100 bytes, and bind() fails beyond that.
+  std::string socket_path;
+  /// Root for cache/, manifests/, and job work directories.
+  std::string results_dir = "results/fleet";
+  /// Bounded submit queue: a submit arriving with this many jobs pending
+  /// is rejected ("queue full", retryable:true) instead of queued.
+  std::size_t queue_capacity = 8;
+  /// Execution template for accepted jobs (mode, shards, threads, chunk
+  /// size, worker binary; work_dir is derived per job).
+  RunOptions run;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Binds the socket and starts the accept + executor threads.  Throws
+  /// std::runtime_error when the socket cannot be created.
+  void start();
+
+  /// Stops accepting, drains in-flight sessions, and joins all threads.
+  /// Idempotent; also invoked by the destructor and the shutdown op.
+  void stop();
+
+  /// Blocks until stop() has been requested (the serve-forever main).
+  void wait();
+
+  const ServiceOptions& options() const { return opts_; }
+
+  /// Requests handled so far (any op), for tests and status lines.
+  std::uint64_t requests_served() const;
+
+ private:
+  enum class JobState { kQueued, kRunning, kDone, kFailed };
+  struct Job {
+    std::string hash;
+    FleetSpec spec;
+    JobState state = JobState::kQueued;
+    std::string error;
+  };
+
+  void accept_loop();
+  void executor_loop();
+  void handle_connection(int fd);
+  runner::Json handle_request(const runner::Json& req);
+  runner::Json handle_submit(const runner::Json& req);
+  std::string cache_path(const std::string& hash) const;
+  /// State of `hash` under lk (must hold mu_): cached/queued/running/
+  /// failed/unknown.
+  std::string job_state_locked(const std::string& hash) const;
+
+  ServiceOptions opts_;
+  int listen_fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< executor waits for work
+  std::condition_variable done_cv_;   ///< wait:true sessions + wait()
+  std::deque<std::size_t> queue_;     ///< indices into jobs_
+  std::vector<Job> jobs_;             ///< append-only job log
+  std::uint64_t requests_ = 0;
+  std::uint64_t manifests_ = 0;       ///< per-request manifest sequence
+  bool stopping_ = false;
+
+  std::thread accept_thread_;
+  std::thread executor_thread_;
+  std::vector<std::thread> sessions_;
+};
+
+/// Client side: connects to `socket_path`, sends `request` as one JSON
+/// line, and returns the parsed response.  Throws std::runtime_error on
+/// connect/IO/parse failure.
+runner::Json fleet_request(const std::string& socket_path,
+                           const runner::Json& request);
+
+/// Convenience: a minimal `eccsim.fleetreq/1` envelope for `op`.
+runner::Json make_request(const std::string& op);
+
+}  // namespace eccsim::fleet

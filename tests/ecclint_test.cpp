@@ -369,6 +369,84 @@ TEST(EcclintLayering, UnmappedFilesAndAngledIncludesAreUnconstrained) {
   EXPECT_TRUE(el::analyze(files, cfg).empty());
 }
 
+namespace fleetlayers {
+
+// The fleet/fleetd corner of tools/ecclint/layers.txt, reduced to the
+// modules those edges touch.
+const char* const kLayers =
+    "module json       src/runner/json.\n"
+    "module threadpool src/runner/thread_pool.\n"
+    "module common     src/common/\n"
+    "module obs        src/obs/\n"
+    "module dram       src/dram/\n"
+    "module faults     src/faults/\n"
+    "module fleet      src/fleet/\n"
+    "module fleetd     tools/fleetd/\n"
+    "allow obs -> common\n"
+    "allow faults -> common obs threadpool\n"
+    "allow fleet -> common faults obs json threadpool\n"
+    "allow fleetd -> common obs fleet json\n";
+
+std::vector<el::SourceFile> fixture_tree() {
+  return {
+      {"src/runner/json.hpp", "#pragma once\n"},
+      {"src/runner/thread_pool.hpp", "#pragma once\n"},
+      {"src/obs/heartbeat.hpp", "#pragma once\n"},
+      {"src/dram/spec.hpp", "#pragma once\n"},
+      {"src/faults/mc_engine.hpp", "#pragma once\n"},
+      {"src/fleet/coordinator.cpp",
+       "#include \"faults/mc_engine.hpp\"\n"
+       "#include \"obs/heartbeat.hpp\"\n"
+       "#include \"runner/json.hpp\"\n"
+       "#include \"runner/thread_pool.hpp\"\n"},
+      {"tools/fleetd/main.cpp",
+       "#include \"fleet/coordinator.hpp\"\n"
+       "#include \"runner/json.hpp\"\n"},
+  };
+}
+
+}  // namespace fleetlayers
+
+TEST(EcclintLayering, FleetEdgesPass) {
+  // The edges the fleet library and the fleetd tool actually use are all
+  // declared, so the reduced DAG yields no findings.
+  el::Config cfg;
+  cfg.layers_text = fleetlayers::kLayers;
+  EXPECT_TRUE(el::analyze(fleetlayers::fixture_tree(), cfg).empty());
+}
+
+TEST(EcclintLayering, FleetReachingIntoDramIsEL101) {
+  // The fleet layer's design rule: DRAM generations are *names*, not a
+  // dependency.  A stray include of src/dram must trip the boundary.
+  el::Config cfg;
+  cfg.layers_text = fleetlayers::kLayers;
+  auto files = fleetlayers::fixture_tree();
+  files.push_back({"src/fleet/model.cpp", "#include \"dram/spec.hpp\"\n"});
+  const auto findings = el::analyze(files, cfg);
+  ASSERT_TRUE(has_rule(findings, "EL101"));
+  const auto f = std::find_if(
+      findings.begin(), findings.end(),
+      [](const el::Finding& x) { return x.rule == "EL101"; });
+  EXPECT_EQ(f->file, "src/fleet/model.cpp");
+  EXPECT_NE(f->message.find("fleet -> dram"), std::string::npos);
+}
+
+TEST(EcclintLayering, FleetBackEdgeFromFaultsIsEL101AndCycleIsEL102) {
+  // faults including fleet is an undeclared edge (EL101); *declaring* it
+  // would close a faults -> fleet -> faults loop, which the DAG check
+  // rejects as EL102.
+  el::Config cfg;
+  cfg.layers_text = fleetlayers::kLayers;
+  auto files = fleetlayers::fixture_tree();
+  files.push_back(
+      {"src/faults/mc_engine.cpp", "#include \"fleet/model.hpp\"\n"});
+  EXPECT_TRUE(has_rule(el::analyze(files, cfg), "EL101"));
+
+  cfg.layers_text =
+      std::string(fleetlayers::kLayers) + "allow faults -> fleet\n";
+  EXPECT_TRUE(has_rule(el::analyze({}, cfg), "EL102"));
+}
+
 // ---------------------------------------------------------------------------
 // Schema family
 // ---------------------------------------------------------------------------

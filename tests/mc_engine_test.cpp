@@ -230,6 +230,52 @@ TEST(McEngine, EarlyStopConvergesAndIsThreadCountInvariant) {
   EXPECT_EQ(parallel.chunks_merged, serial.chunks_merged);
 }
 
+TEST(McEngine, ResumingAnEarlyStoppedRunSimulatesNothingNew) {
+  // Regression for the checkpoint x --mc-target-rel-ci interaction
+  // (docs/CHECKPOINTS.md): an early-stopped run records only the chunks
+  // that merged, and resuming it must replay those chunks through the
+  // same convergence checks, stop at the same boundary, and -- on the
+  // single-threaded path -- evaluate zero new systems.
+  const std::string path = temp_path("mc_earlystop_resume.ck");
+  std::remove(path.c_str());
+  McOptions opts;
+  opts.threads = 1;  // inline path: loaded chunks fully precede new work
+  opts.chunk_size = 50;
+  opts.target_rel_ci = 0.05;
+  opts.min_systems = 200;
+  opts.checkpoint_path = path;
+  McRunInfo first;
+  const std::vector<double> reference = run_fake(100'000, opts, &first);
+  ASSERT_TRUE(first.early_stopped);
+  ASSERT_LT(first.systems_merged, 100'000u);
+
+  unsigned simulated = 0;
+  std::vector<double> resumed;
+  RunningStat stat;
+  const McRunInfo second = mc_run(
+      100'000, 42, 2, "fake", opts,
+      [&](unsigned index, Rng& rng, double* f) {
+        ++simulated;
+        fake_system(index, rng, f);
+      },
+      [&](unsigned, const double* f) {
+        resumed.push_back(f[0]);
+        resumed.push_back(f[1]);
+        stat.add(f[0]);
+      },
+      [&] { return relative_ci95(stat); });
+  EXPECT_EQ(simulated, 0u);  // no extra chunk ever executed
+  EXPECT_TRUE(second.early_stopped);
+  EXPECT_EQ(second.chunks_loaded, first.chunks_merged);
+  EXPECT_EQ(second.chunks_merged, first.chunks_merged);
+  EXPECT_EQ(second.systems_merged, first.systems_merged);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(resumed[i], reference[i]);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(McEngine, RegistersMcStats) {
   stats::Registry reg;
   McOptions opts;
